@@ -1,0 +1,94 @@
+// Ablation A2: the paper's future-work remedy for slow dynamics.
+//
+// "the system has slow dynamics, which could be speeded up by
+// disproportionately weighing newer contributions over older ones."
+// We replay the Figure 8(b) capacity-drop scenario under exponentially
+// decayed contribution ledgers with several decay factors and measure how
+// fast the dropped peer's download re-converges to its new fair point.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace fairshare;
+
+// Returns slots after the drop until peer 0's smoothed download stays
+// within 5% of its new fair point (512), and the steady-state jitter.
+struct AdaptResult {
+  double settle_slots;
+  double tail_rate;
+};
+
+AdaptResult run(double decay) {
+  const std::size_t n = 8;
+  core::Scenario sc;
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.add_peer(1024.0);
+    if (decay < 1.0)
+      sc.policy(i, std::make_shared<alloc::DecayingContributionPolicy>(
+                       n, decay, 1.0));
+  }
+  const std::uint64_t drop_at = 3000;
+  sc.capacity_schedule(0, [drop_at](std::uint64_t t) {
+    return t < drop_at ? 1024.0 : 512.0;
+  });
+  sim::Simulator sim = sc.build();
+  sim.run(12000);
+
+  const auto smooth = sim.download(0).smoothed(50);
+  double settle = static_cast<double>(sim.now() - drop_at);
+  for (std::size_t t = drop_at; t < sim.now(); ++t) {
+    bool stays = true;
+    for (std::size_t u = t; u < std::min<std::size_t>(t + 500, sim.now());
+         ++u) {
+      if (std::fabs(smooth[u] - 512.0) > 0.05 * 512.0) {
+        stays = false;
+        break;
+      }
+    }
+    if (stays) {
+      settle = static_cast<double>(t - drop_at);
+      break;
+    }
+  }
+  return {settle, sim.download(0).mean(11000, 12000)};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation A2",
+                "adaptation speed vs contribution-ledger decay factor");
+
+  std::printf("decay,settle_slots_after_drop,tail_rate_kbps\n");
+  double settle_cumulative = 0, settle_fast = 0;
+  double tail_cumulative = 0;
+  bool decayed_fair = true;
+  for (double decay : {1.0, 0.9999, 0.999, 0.99}) {
+    const AdaptResult r = run(decay);
+    std::printf("%.4f,%.0f,%.1f\n", decay, r.settle_slots, r.tail_rate);
+    if (decay == 1.0) {
+      settle_cumulative = r.settle_slots;
+      tail_cumulative = r.tail_rate;
+    }
+    if (decay == 0.99) settle_fast = r.settle_slots;
+    if (decay <= 0.999 && std::fabs(r.tail_rate - 512.0) > 0.08 * 512.0)
+      decayed_fair = false;
+  }
+
+  bench::shape_check(settle_fast < settle_cumulative,
+                     "decayed ledgers re-converge faster than the cumulative "
+                     "ledger after a capacity change");
+  bench::shape_check(decayed_fair,
+                     "decayed ledgers reach the new fair point (the remedy "
+                     "does not break fairness)");
+  bench::shape_check(std::fabs(tail_cumulative - 512.0) > 0.1 * 512.0,
+                     "the cumulative ledger is still far from the fair point "
+                     "9000 s after the drop — the paper's 'slow dynamics'");
+  return 0;
+}

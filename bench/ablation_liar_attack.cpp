@@ -1,0 +1,57 @@
+// Ablation A1: why Equation (2) instead of Equation (3).
+//
+// A capacity liar inflates its declared upload by a factor L.  Under the
+// declared-proportional baseline (Eq. 3) its download grows with the lie;
+// under the contribution-proportional rule (Eq. 2) the lie is irrelevant
+// because peers divide bandwidth by *measured received contribution*.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace fairshare;
+
+double liar_download(bool use_eq3, double lie_factor) {
+  const std::size_t n = 6;
+  const double mu = 400.0;
+  core::Scenario sc;
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.add_peer(mu);
+    if (use_eq3)
+      sc.policy(i, std::make_shared<alloc::DeclaredProportionalPolicy>());
+  }
+  sc.declares(0, mu * lie_factor);
+  sim::Simulator sim = sc.build();
+  sim.run(8000);
+  return sim.download(0).mean(6000, 8000);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation A1",
+                "capacity-liar attack: Equation (2) vs Equation (3)");
+
+  std::printf("lie_factor,eq3_liar_kbps,eq2_liar_kbps,honest_mu\n");
+  double eq3_at_1 = 0, eq3_at_16 = 0, eq2_max_dev = 0;
+  for (double lie : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double eq3 = liar_download(true, lie);
+    const double eq2 = liar_download(false, lie);
+    std::printf("%.0f,%.1f,%.1f,400\n", lie, eq3, eq2);
+    if (lie == 1.0) eq3_at_1 = eq3;
+    if (lie == 16.0) eq3_at_16 = eq3;
+    eq2_max_dev = std::max(eq2_max_dev, std::abs(eq2 - 400.0));
+  }
+
+  bench::shape_check(eq3_at_16 > 2.0 * eq3_at_1,
+                     "under Eq. (3) a 16x lie more than doubles the liar's "
+                     "download (d/d(declared) > 0, Section IV-B)");
+  bench::shape_check(eq2_max_dev < 0.05 * 400.0,
+                     "under Eq. (2) the lie changes nothing: download stays "
+                     "at the liar's true upload");
+  return 0;
+}

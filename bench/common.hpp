@@ -1,0 +1,87 @@
+// Shared helpers for the experiment harnesses.  Each bench binary
+// regenerates one table or figure of the paper and prints:
+//   * a header naming the experiment,
+//   * the series/rows in CSV form (easy to plot),
+//   * a SHAPE-CHECK section asserting the qualitative claims the paper
+//     makes about that figure (who wins, orderings, crossovers).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fairshare::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void shape_check(bool ok, const std::string& claim) {
+  std::printf("SHAPE-CHECK %s: %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+}
+
+/// Print smoothed download-rate series of every peer, downsampled.
+inline void print_download_series(const sim::Simulator& sim,
+                                  std::size_t smooth_window,
+                                  std::size_t sample_every,
+                                  const std::vector<std::string>& labels) {
+  std::printf("t_seconds");
+  for (const auto& l : labels) std::printf(",%s", l.c_str());
+  std::printf("\n");
+  std::vector<std::vector<double>> smoothed;
+  for (std::size_t i = 0; i < sim.n(); ++i)
+    smoothed.push_back(sim.download(i).smoothed(smooth_window));
+  for (std::size_t t = 0; t < sim.now(); t += sample_every) {
+    std::printf("%zu", t);
+    for (std::size_t i = 0; i < sim.n(); ++i)
+      std::printf(",%.1f", smoothed[i][t]);
+    std::printf("\n");
+  }
+}
+
+/// Rough ASCII rendering of download-rate series — the bench-terminal
+/// version of the paper's figures.  Each series is drawn with its own
+/// glyph; rows are rate bands (top = max), columns are time buckets.
+inline void ascii_chart(const sim::Simulator& sim, std::size_t smooth_window,
+                        const std::vector<std::string>& labels,
+                        std::size_t width = 72, std::size_t height = 16) {
+  std::vector<std::vector<double>> series;
+  double max_v = 1.0;
+  for (std::size_t i = 0; i < sim.n(); ++i) {
+    series.push_back(sim.download(i).smoothed(smooth_window));
+    for (double v : series.back()) max_v = std::max(max_v, v);
+  }
+  static const char glyphs[] = "0123456789abcdef";
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  const std::size_t t_max = sim.now();
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char g = glyphs[s % (sizeof(glyphs) - 1)];
+    for (std::size_t col = 0; col < width; ++col) {
+      const std::size_t t = col * (t_max - 1) / (width - 1);
+      const double v = series[s][t];
+      auto row = static_cast<std::size_t>((1.0 - v / max_v) * (height - 1));
+      row = std::min(row, height - 1);
+      canvas[row][col] = g;
+    }
+  }
+  std::printf("\n%7.0f +%s\n", max_v, std::string(width, '-').c_str());
+  for (std::size_t r = 0; r < height; ++r) {
+    if (r == height - 1)
+      std::printf("%7.0f |%s\n", 0.0, canvas[r].c_str());
+    else
+      std::printf("        |%s\n", canvas[r].c_str());
+  }
+  std::printf("  kbps   0%*s%zu s", static_cast<int>(width - 2), "", t_max);
+  std::printf("   (series: ");
+  for (std::size_t s = 0; s < labels.size(); ++s)
+    std::printf("%c=%s ", glyphs[s % (sizeof(glyphs) - 1)],
+                labels[s].c_str());
+  std::printf(")\n\n");
+}
+
+}  // namespace fairshare::bench

@@ -1,0 +1,46 @@
+// Extension bench (not a paper figure): scaling of the Chord content-
+// location substrate — average/worst lookup hops vs ring size, matching
+// the O(log n) bound the DHT literature (cited in the paper's Section II)
+// promises.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "dht/chord.hpp"
+#include "sim/rng.hpp"
+
+int main() {
+  using namespace fairshare;
+  bench::header("Extension: DHT scaling",
+                "Chord lookup hops vs ring size (content location substrate)");
+
+  std::printf("nodes,avg_hops,p99_hops,log2_n\n");
+  bool logarithmic = true;
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    dht::ChordRing ring;
+    sim::SplitMix64 rng(2006 + n);
+    while (ring.size() < n) ring.join(rng.next());
+    const auto nodes = ring.nodes();
+
+    const int trials = 2000;
+    std::vector<std::size_t> hops;
+    hops.reserve(trials);
+    for (int t = 0; t < trials; ++t) {
+      const auto r =
+          ring.lookup(rng.next(), nodes[rng.next_below(nodes.size())]);
+      hops.push_back(r.hops);
+    }
+    std::sort(hops.begin(), hops.end());
+    double sum = 0;
+    for (std::size_t h : hops) sum += static_cast<double>(h);
+    const double avg = sum / trials;
+    const std::size_t p99 = hops[trials * 99 / 100];
+    const double log_n = std::log2(static_cast<double>(n));
+    std::printf("%zu,%.2f,%zu,%.1f\n", n, avg, p99, log_n);
+    if (avg > log_n) logarithmic = false;
+  }
+
+  bench::shape_check(logarithmic,
+                     "average lookup stays below log2(n) hops at every size");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension: "geographic data robustness" quantified (Introduction bullet:
+// "Robustness — Data is redundantly available from various sources").
+//
+// Monte Carlo over peer availability: each of the n-1 helper peers stores
+// k' coded messages and is online independently with probability p; the
+// owner is offline (the remote-access scenario).  The file is recoverable
+// iff the online peers jointly hold >= k *distinct-enough* messages — with
+// large q any k distinct messages decode, so recoverability is
+// sum-of-online-stores >= k with distinctness guaranteed by construction
+// (dissemination gives each peer its own batch).
+//
+// Compares against replication with the same total storage: storing full
+// replicas at floor((n-1)*k'/k) peers survives only if one of THOSE peers
+// is online.  Coding dominates at every loss rate — the classic erasure-
+// coding vs replication result, realized by this system's dissemination.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace fairshare;
+
+// P[file recoverable] with n_helpers peers each holding kprime distinct
+// messages, each online w.p. p: need sum over online stores >= k.
+double coded_availability(std::size_t n_helpers, std::size_t kprime,
+                          std::size_t k, double p, sim::SplitMix64& rng,
+                          int trials) {
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::size_t have = 0;
+    for (std::size_t i = 0; i < n_helpers; ++i)
+      if (rng.next_double() < p) have += kprime;
+    if (have >= k) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+// Same storage budget spent on whole-file replicas.
+double replica_availability(std::size_t replicas, double p,
+                            sim::SplitMix64& rng, int trials) {
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    bool alive = false;
+    for (std::size_t i = 0; i < replicas && !alive; ++i)
+      alive = rng.next_double() < p;
+    if (alive) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Extension: robustness",
+                "file availability under peer failures — coding vs replicas");
+
+  const std::size_t n_helpers = 9;  // the paper's 10-peer network sans owner
+  const std::size_t k = 8;          // paper defaults (1 MB, q=2^32, m=2^15)
+  const std::size_t kprime = 4;     // half-storage mode, 4.5x total redundancy
+  const std::size_t replicas = n_helpers * kprime / k;  // same bytes: 4 copies
+  const int trials = 20000;
+
+  std::printf("p_online,coded_availability,replica_availability\n");
+  sim::SplitMix64 rng(77);
+  bool coding_dominates = true;
+  double coded_at_half = 0;
+  for (double p : {0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double coded =
+        coded_availability(n_helpers, kprime, k, p, rng, trials);
+    const double replicated = replica_availability(replicas, p, rng, trials);
+    std::printf("%.2f,%.4f,%.4f\n", p, coded, replicated);
+    if (coded + 0.01 < replicated) coding_dominates = false;
+    if (p == 0.5) coded_at_half = coded;
+  }
+
+  bench::shape_check(coding_dominates,
+                     "coded dissemination is at least as available as "
+                     "same-budget replication at every online probability");
+  bench::shape_check(coded_at_half > 0.85,
+                     "with half the peers offline the file stays "
+                     "recoverable >85% of the time (geographic robustness)");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 1: transmission times over asymmetric consumer links, log-log.
+//
+// Pure link arithmetic — the motivating chart.  The paper's callouts: a
+// one-hour TV-resolution mpeg-2 home video (~1 GB) takes ~9 hours to send
+// up a 256 kbps cable-modem uplink but ~45 minutes to pull down a 3 Mbps
+// downlink; transfers differ by roughly an order of magnitude link-for-link.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+struct Link {
+  const char* name;
+  double kbps;
+};
+
+constexpr Link kLinks[] = {
+    {"dialup_up_28kbps", 28.0},
+    {"dialup_down_56kbps", 56.0},
+    {"cable_up_256kbps", 256.0},
+    {"cable_down_3Mbps", 3000.0},
+};
+
+double seconds_for(double megabytes, double kbps) {
+  return megabytes * 8.0 * 1000.0 / kbps;  // MB -> kilobits / kbps
+}
+
+}  // namespace
+
+int main() {
+  using fairshare::bench::header;
+  using fairshare::bench::shape_check;
+  header("Figure 1", "transmission time vs size over asymmetric links");
+
+  std::printf("size_MB");
+  for (const Link& l : kLinks) std::printf(",%s_seconds", l.name);
+  std::printf("\n");
+  for (double exp = 0.0; exp <= 5.0; exp += 0.25) {
+    const double mb = std::pow(10.0, exp);
+    std::printf("%.2f", mb);
+    for (const Link& l : kLinks) std::printf(",%.0f", seconds_for(mb, l.kbps));
+    std::printf("\n");
+  }
+
+  // The paper's worked example: 1-hour TV-resolution mpeg-2 video ~1 GB.
+  const double video_mb = 1024.0;
+  const double up = seconds_for(video_mb, 256.0);
+  const double down = seconds_for(video_mb, 3000.0);
+  std::printf("\nmpeg2_1hr_video_1GB: upload_256kbps=%.1f h, "
+              "download_3Mbps=%.1f min\n",
+              up / 3600.0, down / 60.0);
+
+  shape_check(up > 8.5 * 3600 && up < 10.5 * 3600,
+              "1 GB up a 256 kbps cable link takes ~9 hours");
+  shape_check(down > 35 * 60 && down < 55 * 60,
+              "1 GB down a 3 Mbps cable link takes ~45 minutes");
+  shape_check(up / down > 10.0,
+              "cable up/down asymmetry spans an order of magnitude");
+  shape_check(seconds_for(10.0, 28.0) / seconds_for(10.0, 56.0) == 2.0,
+              "dialup asymmetry is the 28/56 capacity ratio");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 7: same day as Figure 6, but peer 1 only starts contributing
+// after the first 3 hours.  Two artifacts the paper highlights:
+//   * peer 1 still gets some service in the first hours (others split
+//     bandwidth obliviously off the initial equal credit);
+//   * around hours 3-4 peer 1 is penalized for its earlier
+//     non-contribution, with the penalty decaying as it earns credit.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace fairshare;
+  bench::header("Figure 7",
+                "3 peers 256/512/1024 kbps; peer 1 contributes only after "
+                "hour 3");
+
+  const std::vector<double> uploads{256, 512, 1024};
+  core::Scenario sc;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    sc.add_peer(uploads[i]);
+    // Identical demand seeds to Figure 6 for comparability.
+    sc.demand(i, std::make_shared<sim::RandomBlocksDemand>(
+                     3600, 24, 12, 1000 + i));
+  }
+  sc.contributes_when(1, [](std::uint64_t t) { return t >= 3 * 3600; });
+  sim::Simulator sim = sc.build();
+  sim.run(24 * 3600);
+
+  std::printf("hour,peer0_dl,peer0_req,peer1_dl,peer1_req,peer2_dl,peer2_req\n");
+  for (int h = 0; h < 24; ++h) {
+    const std::size_t b = static_cast<std::size_t>(h) * 3600;
+    std::printf("%d", h);
+    for (std::size_t i = 0; i < 3; ++i)
+      std::printf(",%.0f,%.0f", sim.download(i).mean(b, b + 3600),
+                  sim.requested(i).mean(b, b + 3600));
+    std::printf("\n");
+  }
+
+  // Build a reference run where peer 1 contributes all day (Figure 6).
+  core::Scenario ref;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    ref.add_peer(uploads[i]);
+    ref.demand(i, std::make_shared<sim::RandomBlocksDemand>(
+                      3600, 24, 12, 1000 + i));
+  }
+  sim::Simulator full = ref.build();
+  full.run(24 * 3600);
+
+  // Penalty window: peer 1's download while requesting, shortly after it
+  // joins, is below the always-contributing reference.
+  auto active_mean = [](const sim::Simulator& s, std::size_t i,
+                        std::size_t b, std::size_t e) {
+    double dl = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = b; t < e; ++t) {
+      if (s.requested(i).at(t) > 0.5) {
+        dl += s.download(i).at(t);
+        ++n;
+      }
+    }
+    return n ? dl / static_cast<double>(n) : 0.0;
+  };
+
+  const double penalty_window =
+      active_mean(sim, 1, 3 * 3600, 6 * 3600);
+  const double penalty_ref = active_mean(full, 1, 3 * 3600, 6 * 3600);
+  const double late_window = active_mean(sim, 1, 12 * 3600, 24 * 3600);
+  const double late_ref = active_mean(full, 1, 12 * 3600, 24 * 3600);
+  std::printf("peer1 streaming rate hours 3-6: %.1f (vs %.1f always-on)\n",
+              penalty_window, penalty_ref);
+  std::printf("peer1 streaming rate hours 12-24: %.1f (vs %.1f always-on)\n",
+              late_window, late_ref);
+
+  bench::shape_check(
+      penalty_window < 0.9 * penalty_ref || penalty_ref == 0.0,
+      "peer 1 is penalized shortly after joining (hours 3-6)");
+  bench::shape_check(late_window > 0.75 * late_ref,
+                     "the penalty decays once peer 1 accumulates credit");
+
+  // Early free service: before hour 3 the other peers, holding only the
+  // equal initial credit, still serve peer 1 when it requests.
+  const double early_service = active_mean(sim, 1, 0, 3 * 3600);
+  bench::shape_check(early_service > 0.0,
+                     "peer 1 still gets some service before contributing "
+                     "(oblivious initial credit)");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 8(a): incentive to contribute while idle.
+//
+// Peer 0 contributes from t = 0 but downloads only from t = 1000; peer 1
+// neither contributes nor downloads before t = 1000; the other eight peers
+// contribute and download throughout.  After t = 1000, peer 0's banked
+// credit buys it a visibly better download rate than latecomer peer 1, and
+// before t = 1000 the others enjoy rates above their own upload (they
+// split peer 0's unused bandwidth).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace fairshare;
+  bench::header("Figure 8(a)",
+                "contribute-while-idle credit; 10 peers at 1024 kbps");
+
+  const std::size_t n = 10;
+  const double mu = 1024.0;
+  core::Scenario sc;
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.add_peer(mu);
+    labels.push_back(i == 0 ? "peer0_earlyContrib"
+                            : (i == 1 ? "peer1_lateContrib"
+                                      : "peer" + std::to_string(i)));
+  }
+  // Peers 0 and 1 start downloading at t=1000; peer 1 also only starts
+  // contributing then.
+  using Iv = sim::IntervalDemand::Interval;
+  sc.demand(0, std::make_shared<sim::IntervalDemand>(
+                   std::vector<Iv>{{1000, 3500}}));
+  sc.demand(1, std::make_shared<sim::IntervalDemand>(
+                   std::vector<Iv>{{1000, 3500}}));
+  sc.contributes_when(1, [](std::uint64_t t) { return t >= 1000; });
+  sim::Simulator sim = sc.build();
+  sim.run(3500);
+
+  bench::print_download_series(sim, 10, 100, labels);
+  bench::ascii_chart(sim, 50, labels);
+
+  const double others_before = sim.download(5).mean(500, 1000);
+  const double peer0_after = sim.download(0).mean(1000, 1500);
+  const double peer1_after = sim.download(1).mean(1000, 1500);
+  std::printf("others before t=1000: %.1f kbps (upload %.0f)\n",
+              others_before, mu);
+  std::printf("peer0 (banked credit) after t=1000: %.1f kbps\n", peer0_after);
+  std::printf("peer1 (no credit)     after t=1000: %.1f kbps\n", peer1_after);
+
+  bench::shape_check(others_before > mu,
+                     "before t=1000 the 8 active users download above their "
+                     "own upload (they absorb peer 0's idle contribution)");
+  bench::shape_check(peer0_after > 1.05 * peer1_after,
+                     "the peer that contributed while idle is rewarded with "
+                     "a measurably better rate than the late joiner");
+  bench::shape_check(peer0_after > mu && peer1_after <= 1.02 * mu,
+                     "banked credit buys service above one's own upload; "
+                     "the late joiner starts at roughly its own rate");
+  bench::shape_check(sim.download(1).mean(0, 1000) == 0.0,
+                     "peer 1 receives nothing before it requests");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8(b): adaptation dynamics.  Ten saturated peers at 1024 kbps;
+// one peer's upload drops to 512 kbps at t = 1000 s and is restored at
+// t = 3000 s.  Its download tracks the change (slowly, as the paper
+// notes), and the other peers quickly recover the lost service among
+// themselves.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace fairshare;
+  bench::header("Figure 8(b)",
+                "one peer's upload drops 1024->512 kbps at t=1000, restored "
+                "at t=3000");
+
+  const std::size_t n = 10;
+  core::Scenario sc;
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.add_peer(1024.0);
+    labels.push_back(i == 0 ? "peer0_drops" : "peer" + std::to_string(i));
+  }
+  sc.capacity_schedule(0, [](std::uint64_t t) {
+    return (t >= 1000 && t < 3000) ? 512.0 : 1024.0;
+  });
+  sim::Simulator sim = sc.build();
+  sim.run(10000);
+
+  bench::print_download_series(sim, 10, 200, labels);
+  bench::ascii_chart(sim, 50, labels);
+
+  const double before = sim.download(0).mean(800, 1000);
+  const double during = sim.download(0).mean(2500, 3000);
+  const double after = sim.download(0).mean(9000, 10000);
+  const double other_during = sim.download(5).mean(2500, 3000);
+  std::printf("peer0: before=%.1f during-drop=%.1f after-restore=%.1f\n",
+              before, during, after);
+  std::printf("peer5 during peer0's drop: %.1f\n", other_during);
+
+  bench::shape_check(before > 0.95 * 1024,
+                     "pre-drop, peer 0 downloads at ~1024 kbps");
+  bench::shape_check(during < 0.85 * before,
+                     "peer 0's download falls after its upload drops");
+  bench::shape_check(during > 512 * 0.9,
+                     "...but not below its reduced contribution level");
+  bench::shape_check(after > 0.90 * 1024,
+                     "peer 0's download recovers after capacity is restored "
+                     "(slow dynamics: may still be converging)");
+  bench::shape_check(other_during > 0.97 * 1024,
+                     "the other peers quickly recover the lost service "
+                     "amongst themselves");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks of the hot kernels underlying Table II:
+// field row operations (the O(m k^2) elimination inner loop), scalar
+// multiplication, hashing, and the ChaCha20 coefficient stream.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/md5.hpp"
+#include "crypto/sha256.hpp"
+#include "gf/row_ops.hpp"
+#include "linalg/matrix.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace fairshare;
+
+std::vector<std::byte> random_row(const gf::FieldView& f, std::size_t n,
+                                  std::uint64_t seed) {
+  sim::SplitMix64 rng(seed);
+  std::vector<std::byte> row(f.row_bytes(n), std::byte{0});
+  for (std::size_t i = 0; i < n; ++i)
+    f.set(row.data(), i, rng.next() & (f.order - 1));
+  return row;
+}
+
+void BM_RowAxpy(benchmark::State& state) {
+  const auto field = static_cast<gf::FieldId>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const auto& f = gf::field_view(field);
+  auto dst = random_row(f, m, 1);
+  const auto src = random_row(f, m, 2);
+  const std::uint64_t c = 0x1234567 & (f.order - 1);
+  for (auto _ : state) {
+    f.axpy(dst.data(), src.data(), c ? c : 3, m);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.row_bytes(m)));
+}
+BENCHMARK(BM_RowAxpy)
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 13, 1 << 15}})
+    ->ArgNames({"field", "m"});
+
+void BM_ScalarMul(benchmark::State& state) {
+  const auto field = static_cast<gf::FieldId>(state.range(0));
+  const auto& f = gf::field_view(field);
+  std::uint64_t a = 0x9E3779B9 & (f.order - 1), b = 0x85EBCA77 & (f.order - 1);
+  if (a == 0) a = 3;
+  if (b == 0) b = 5;
+  for (auto _ : state) {
+    a = f.mul(a, b) | 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ScalarMul)->DenseRange(0, 3)->ArgNames({"field"});
+
+void BM_MatrixInvert(benchmark::State& state) {
+  const auto field = static_cast<gf::FieldId>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const auto& f = gf::field_view(field);
+  sim::SplitMix64 rng(7);
+  linalg::Matrix m(field, k, k);
+  for (std::size_t r = 0; r < k; ++r)
+    for (std::size_t c = 0; c < k; ++c)
+      m.set(r, c, rng.next() & (f.order - 1));
+  for (auto _ : state) {
+    auto inv = linalg::invert(m);
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_MatrixInvert)
+    ->ArgsProduct({{1, 3}, {8, 32, 128}})
+    ->ArgNames({"field", "k"});
+
+void BM_Md5(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> data(n, 0xAB);
+  for (auto _ : state) {
+    auto d = crypto::Md5::hash(std::span<const std::uint8_t>(data));
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Md5)->Arg(1 << 17)->ArgNames({"bytes"});
+
+void BM_Sha256(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> data(n, 0xCD);
+  for (auto _ : state) {
+    auto d = crypto::Sha256::hash(std::span<const std::uint8_t>(data));
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Sha256)->Arg(1 << 17)->ArgNames({"bytes"});
+
+void BM_ChaCha20Stream(benchmark::State& state) {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> nonce{};
+  crypto::ChaCha20 rng(key, nonce, 0);
+  std::vector<std::uint8_t> buf(1 << 16);
+  for (auto _ : state) {
+    rng.generate(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_ChaCha20Stream);
+
+}  // namespace
+
+BENCHMARK_MAIN();

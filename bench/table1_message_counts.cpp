@@ -1,0 +1,44 @@
+// Table I: number of messages k required to encode 1 MB of data across
+// field sizes q = 2^p and message lengths m.
+#include <cstdio>
+
+#include "coding/params.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace fairshare;
+  bench::header("Table I", "messages k for 1 MB across (q, m)");
+
+  const gf::FieldId fields[] = {gf::FieldId::gf2_4, gf::FieldId::gf2_8,
+                                gf::FieldId::gf2_16, gf::FieldId::gf2_32};
+  const std::size_t megabyte = 1u << 20;
+
+  std::printf("%-10s", "q \\ m");
+  for (int e = 13; e <= 18; ++e) std::printf("%8s", ("2^" + std::to_string(e)).c_str());
+  std::printf("\n");
+
+  // The values the paper prints.
+  const std::size_t expected[4][6] = {{256, 128, 64, 32, 16, 8},
+                                      {128, 64, 32, 16, 8, 4},
+                                      {64, 32, 16, 8, 4, 2},
+                                      {32, 16, 8, 4, 2, 1}};
+  bool all_match = true;
+  for (int fi = 0; fi < 4; ++fi) {
+    std::printf("%-10s", std::string(gf::field_name(fields[fi])).c_str());
+    for (int e = 13; e <= 18; ++e) {
+      const coding::CodingParams params{fields[fi], std::size_t{1} << e};
+      const std::size_t k = coding::chunks_for_bytes(megabyte, params);
+      std::printf("%8zu", k);
+      if (k != expected[fi][e - 13]) all_match = false;
+    }
+    std::printf("\n");
+  }
+
+  bench::shape_check(all_match,
+                     "every cell matches the paper's Table I exactly");
+  bench::shape_check(
+      coding::chunks_for_bytes(megabyte,
+                               coding::CodingParams::paper_defaults()) == 8,
+      "the paper's example (q=2^32, m=2^15) needs k = 8 messages");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Home-video streaming (the paper's Section III-D scenario): a large video
+// is split into 1 MB-class units, each encoded as its own coded file, so a
+// remote user can start playback after the first unit decodes instead of
+// waiting for the whole download.
+//
+// Demonstrates ChunkedEncoder/ChunkedDecoder layered over the p2p system
+// (one shared file per unit) and reports per-unit "playback ready" times.
+#include <cstdio>
+#include <vector>
+
+#include "core/fairshare.hpp"
+#include "sim/rng.hpp"
+
+using namespace fairshare;
+
+int main() {
+  // 2 MiB "video", four 512 KiB streaming units (scaled-down 1 MB chunks
+  // to keep the demo quick).
+  constexpr std::size_t kUnitBytes = 512 * 1024;
+  sim::SplitMix64 rng(11);
+  std::vector<std::byte> video(4 * kUnitBytes);
+  for (auto& b : video) b = std::byte{static_cast<std::uint8_t>(rng.next())};
+
+  const coding::CodingParams params{gf::FieldId::gf2_32, 1u << 12};
+
+  // 6 peers; the video owner has the typical slow uplink.
+  std::vector<p2p::PeerParams> peers(6);
+  for (auto& p : peers) p.upload_kbps = 512.0;
+  peers[0].upload_kbps = 256.0;  // the owner's cable-modem uplink
+
+  p2p::SystemConfig config;
+  config.auth = p2p::AuthMode::disabled;  // keep the demo fast
+  p2p::System network(std::move(peers), config);
+
+  // Share each unit as its own coded file: unit u -> file id 100 + u.
+  const std::size_t units = video.size() / kUnitBytes;
+  for (std::size_t u = 0; u < units; ++u) {
+    network.share_file(0, 100 + u,
+                       std::span<const std::byte>(video).subspan(
+                           u * kUnitBytes, kUnitBytes),
+                       params);
+  }
+  while (network.dissemination_progress(100 + units - 1) < 1.0)
+    network.run(1000);
+  std::printf("video disseminated by t=%llu s (%zu units)\n",
+              static_cast<unsigned long long>(network.now()), units);
+
+  // The user streams: request unit u, play it while unit u+1 downloads.
+  // Low-resolution home video (Figure 1's middle callout) ~ 800 kbps.
+  const double playback_kbps = 800.0;
+  std::vector<std::byte> received;
+  double total_stall_s = 0.0;
+  const std::uint64_t t_start = network.now();
+  for (std::size_t u = 0; u < units; ++u) {
+    const std::uint64_t t0 = network.now();
+    const auto req = network.request_file(0, 100 + u, 8000.0);
+    if (!network.run_until_complete(req, 100000)) {
+      std::printf("unit %zu failed to download\n", u);
+      return 1;
+    }
+    const double dl_s = static_cast<double>(network.now() - t0);
+    const double play_s = kUnitBytes * 8.0 / 1000.0 / playback_kbps;
+    // Stall if the unit took longer to fetch than the previous unit plays.
+    if (u > 0 && dl_s > play_s) total_stall_s += dl_s - play_s;
+    const auto unit_data = network.data(req);
+    received.insert(received.end(), unit_data.begin(), unit_data.end());
+    std::printf("unit %zu ready after %.0f s (plays for %.0f s)%s\n", u, dl_s,
+                play_s, u == 0 ? "  <- playback starts here" : "");
+  }
+
+  const bool intact = received == video;
+  const double elapsed = static_cast<double>(network.now() - t_start);
+  const double swarm_rate = video.size() * 8.0 / 1000.0 / elapsed;
+  std::printf("\nfull video: %s, fetched at %.0f kbps aggregate "
+              "(owner uplink 256 kbps), stalls %.0f s\n",
+              intact ? "EXACT" : "CORRUPT", swarm_rate, total_stall_s);
+  std::printf("streaming verdict: playback %s sustainable at %.0f kbps\n",
+              swarm_rate >= playback_kbps ? "IS" : "IS NOT", playback_kbps);
+  return intact ? 0 : 1;
+}

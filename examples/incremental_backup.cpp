@@ -1,0 +1,118 @@
+// Incremental distributed backup — the paper's future-work items working
+// together (Section VI-A):
+//
+//  * a large archive is shared in coding units; when a few bytes change,
+//    only the touched units are re-encoded and re-disseminated
+//    ("an efficient means of handling rapid changes and modifications");
+//  * the user carries a 36-byte Merkle root per unit instead of a digest
+//    table ("minimizing the amount of meta-data that the user needs to
+//    carry around");
+//  * restore works from any k messages per unit, mixing old and new
+//    generations correctly.
+#include <cstdio>
+#include <vector>
+
+#include "coding/merkle_auth.hpp"
+#include "coding/update.hpp"
+#include "core/fairshare.hpp"
+#include "sim/rng.hpp"
+
+using namespace fairshare;
+
+namespace {
+
+std::vector<std::byte> make_blob(std::size_t n, std::uint64_t seed) {
+  sim::SplitMix64 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = std::byte{static_cast<std::uint8_t>(rng.next())};
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kUnit = 256 * 1024;  // scaled-down "1 MB" units
+  const coding::CodingParams params{gf::FieldId::gf2_32, 1u << 12};
+  coding::SecretKey secret{};
+  secret[0] = 42;
+
+  // Day 0: back up a 1 MiB archive as 4 units.
+  auto archive = make_blob(4 * kUnit, 1);
+  coding::ChunkedEncoder encoder(secret, 1000, archive, params, kUnit);
+  std::vector<std::vector<coding::EncodedMessage>> stored(encoder.units());
+  std::size_t day0_bytes = 0;
+  for (std::size_t u = 0; u < encoder.units(); ++u) {
+    stored[u] = encoder.unit(u).generate(encoder.unit(u).k());
+    for (const auto& m : stored[u]) day0_bytes += m.wire_size();
+  }
+  coding::ChunkedFileInfo metadata = encoder.info();
+  std::printf("day 0: backed up %zu KiB as %zu units (%zu KiB coded)\n",
+              archive.size() / 1024, encoder.units(), day0_bytes / 1024);
+
+  // The user's pocket metadata: one Merkle root per unit.
+  std::vector<coding::MerkleAuthenticator> auths;
+  std::size_t carried = 0;
+  for (std::size_t u = 0; u < stored.size(); ++u) {
+    auths.emplace_back(stored[u]);
+    carried += 36;  // root + leaf count
+  }
+  const std::size_t table_equivalent =
+      [&] {
+        std::size_t total = 0;
+        for (const auto& unit : metadata.units)
+          total += unit.message_digests.size() * 16;
+        return total;
+      }();
+  std::printf("user carries %zu bytes of Merkle roots (digest table would "
+              "be %zu bytes)\n",
+              carried, table_equivalent);
+
+  // Day 1: a small edit inside unit 2.
+  archive[2 * kUnit + 1234] ^= std::byte{0x7F};
+  const coding::UpdatePlan plan = coding::plan_update(metadata, archive);
+  std::printf("day 1: edit detected in %zu of %zu units\n",
+              plan.changed_units.size(), plan.new_unit_count);
+
+  coding::FileUpdate update =
+      coding::apply_update(secret, metadata, archive, 2000);
+  std::size_t day1_bytes = 0;
+  for (std::size_t e = 0; e < update.encoders.size(); ++e) {
+    const std::size_t u = update.changed_units[e];
+    stored[u] = update.encoders[e]->generate(update.encoders[e]->k());
+    update.info.units[u] = update.encoders[e]->info();
+    auths[u] = coding::MerkleAuthenticator(stored[u]);
+    for (const auto& m : stored[u]) day1_bytes += m.wire_size();
+  }
+  metadata = update.info;
+  std::printf("day 1: re-disseminated %zu KiB (full backup would resend "
+              "%zu KiB) — %.0fx saving\n",
+              day1_bytes / 1024, day0_bytes / 1024,
+              static_cast<double>(day0_bytes) /
+                  static_cast<double>(day1_bytes));
+
+  // Restore: verify every stored message against the carried roots, then
+  // decode all units.
+  coding::ChunkedDecoder decoder(secret, metadata);
+  std::size_t verified = 0;
+  for (std::size_t u = 0; u < stored.size(); ++u) {
+    const coding::MerkleVerifier verifier(auths[u].root(),
+                                          auths[u].leaf_count());
+    for (std::size_t i = 0; i < stored[u].size(); ++i) {
+      const auto am = auths[u].attach(stored[u][i], i);
+      if (!verifier.verify(am)) {
+        std::printf("verification failure at unit %zu message %zu!\n", u, i);
+        return 1;
+      }
+      ++verified;
+      decoder.add(am.message);
+    }
+  }
+  if (!decoder.complete()) {
+    std::printf("restore incomplete!\n");
+    return 1;
+  }
+  const bool exact = decoder.reconstruct() == archive;
+  std::printf("restore: %zu messages Merkle-verified, archive %s\n", verified,
+              exact ? "EXACT (including the day-1 edit)" : "CORRUPT");
+  return exact ? 0 : 1;
+}

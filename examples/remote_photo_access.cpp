@@ -1,0 +1,75 @@
+// Remote photo access with hostile peers: the "My Pictures" scenario of
+// Figure 1, plus the security machinery of Section III-C.
+//
+// A user's photo folder is shared across a neighborhood that contains one
+// peer serving corrupted data and one peer impersonating another identity.
+// The download still reconstructs exactly, every forged message is caught
+// by the per-message MD5 digests, and the impersonator never passes the
+// RSA challenge-response handshake.
+#include <cstdio>
+#include <vector>
+
+#include "core/fairshare.hpp"
+#include "sim/rng.hpp"
+
+using namespace fairshare;
+
+int main() {
+  // 6 peers: #2 tampers with payloads it serves, #4 impersonates.
+  std::vector<p2p::PeerParams> peers(6);
+  for (auto& p : peers) p.upload_kbps = 384.0;
+  peers[2].tampers = true;
+  peers[4].impersonates = true;
+
+  p2p::SystemConfig config;
+  config.auth = p2p::AuthMode::full;
+  config.rsa_bits = 512;
+  config.seed = 99;
+  p2p::System network(std::move(peers), config);
+
+  // A 3-photo folder (numbers scaled down for a quick demo).
+  sim::SplitMix64 rng(23);
+  const std::size_t photo_sizes[] = {180 * 1024, 240 * 1024, 150 * 1024};
+  std::vector<std::vector<std::byte>> photos;
+  const coding::CodingParams params{gf::FieldId::gf2_32, 1u << 11};  // 8 KiB msgs
+  const p2p::PeerId owner = 5;
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::vector<std::byte> photo(photo_sizes[i]);
+    for (auto& b : photo) b = std::byte{static_cast<std::uint8_t>(rng.next())};
+    network.share_file(owner, 10 + i, photo, params);
+    photos.push_back(std::move(photo));
+  }
+  while (network.dissemination_progress(12) < 1.0) network.run(500);
+  std::printf("photos disseminated by t=%llu s\n",
+              static_cast<unsigned long long>(network.now()));
+
+  std::size_t forged_caught = 0, auth_blocked = 0;
+  bool all_exact = true;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto req = network.request_file(owner, 10 + i, 4000.0);
+    if (!network.run_until_complete(req, 100000)) {
+      std::printf("photo %zu did not complete\n", i);
+      return 1;
+    }
+    const auto& stats = network.stats(req);
+    const bool exact = network.data(req) == photos[i];
+    all_exact = all_exact && exact;
+    forged_caught += stats.messages_bad_digest;
+    auth_blocked += stats.auth_failures;
+    std::printf("photo %zu: %s in %llu s — %zu innovative, %zu forged "
+                "(rejected), %zu peers failed auth\n",
+                i, exact ? "EXACT" : "CORRUPT",
+                static_cast<unsigned long long>(stats.completed_slot -
+                                                stats.started_slot),
+                stats.messages_accepted, stats.messages_bad_digest,
+                stats.auth_failures);
+  }
+
+  std::printf("\nsecurity summary: %zu forged messages caught by MD5 "
+              "digests, impersonator blocked %zu times by the "
+              "challenge-response handshake\n",
+              forged_caught, auth_blocked);
+  const bool defended = forged_caught > 0 && auth_blocked == 3 && all_exact;
+  std::printf("defense verdict: %s\n", defended ? "HELD" : "BREACHED");
+  return defended ? 0 : 1;
+}

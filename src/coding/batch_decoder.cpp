@@ -1,0 +1,73 @@
+#include "coding/batch_decoder.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "linalg/matrix.hpp"
+
+namespace fairshare::coding {
+
+BatchDecoder::BatchDecoder(const SecretKey& secret, const FileInfo& info,
+                           bool require_digests)
+    : info_(info),
+      require_digests_(require_digests),
+      coeffs_(secret, info.file_id, info.params, info.k) {}
+
+AddResult BatchDecoder::add(const EncodedMessage& message) {
+  if (message.file_id != info_.file_id) return AddResult::wrong_file;
+  if (message.payload.size() != info_.params.message_bytes())
+    return AddResult::bad_size;
+  if (require_digests_ || !info_.message_digests.empty()) {
+    const auto it = info_.message_digests.find(message.message_id);
+    if (it == info_.message_digests.end()) {
+      if (require_digests_) return AddResult::bad_digest;
+    } else if (message.digest() != it->second) {
+      return AddResult::bad_digest;
+    }
+  }
+  const bool duplicate = std::any_of(
+      messages_.begin(), messages_.end(), [&](const EncodedMessage& m) {
+        return m.message_id == message.message_id;
+      });
+  if (duplicate) return AddResult::non_innovative;
+  messages_.push_back(message);
+  return AddResult::accepted;
+}
+
+std::optional<std::vector<std::byte>> BatchDecoder::decode() {
+  if (!ready()) return std::nullopt;
+  const std::size_t k = info_.k;
+  const std::size_t m = info_.params.m;
+  const auto& f = gf::field_view(info_.params.field);
+
+  // Assemble the k x k coefficient sub-matrix B and the k x m payload Y
+  // from the first k buffered messages with independent rows.
+  linalg::Matrix b(info_.params.field, k, k);
+  linalg::Matrix y(info_.params.field, k, m);
+  std::size_t row = 0;
+  for (const EncodedMessage& msg : messages_) {
+    if (row == k) break;
+    const std::vector<std::byte> packed = coeffs_.row(msg.message_id);
+    std::memcpy(b.row(row), packed.data(), f.row_bytes(k));
+    std::memcpy(y.row(row), msg.payload.data(), f.row_bytes(m));
+    ++row;
+  }
+
+  // X = B^{-1} Y (done as one Gaussian solve; mathematically the paper's
+  // "multiply by the inverse").
+  const auto x = linalg::solve(b, y);
+  if (!x) {
+    // Singular draw: drop the oldest message so the caller's next add()
+    // brings a fresh row, then signal failure.
+    if (!messages_.empty()) messages_.erase(messages_.begin());
+    return std::nullopt;
+  }
+
+  std::vector<std::byte> out(k * f.row_bytes(m));
+  for (std::size_t i = 0; i < k; ++i)
+    std::memcpy(out.data() + i * f.row_bytes(m), x->row(i), f.row_bytes(m));
+  out.resize(info_.original_bytes);
+  return out;
+}
+
+}  // namespace fairshare::coding

@@ -1,0 +1,68 @@
+#include "coding/decoder.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace fairshare::coding {
+
+FileDecoder::FileDecoder(const SecretKey& secret, const FileInfo& info,
+                         bool require_digests)
+    : info_(info),
+      require_digests_(require_digests),
+      coeffs_(secret, info.file_id, info.params, info.k),
+      solver_(info.params.field, info.k, info.params.m) {}
+
+AddResult FileDecoder::add(const EncodedMessage& message) {
+  if (solver_.complete()) return AddResult::already_complete;
+  if (message.file_id != info_.file_id) return AddResult::wrong_file;
+  if (message.payload.size() != info_.params.message_bytes())
+    return AddResult::bad_size;
+
+  if (require_digests_ || !info_.message_digests.empty()) {
+    const auto it = info_.message_digests.find(message.message_id);
+    if (it == info_.message_digests.end()) {
+      if (require_digests_) {
+        ++rejected_auth_;
+        return AddResult::bad_digest;
+      }
+    } else if (message.digest() != it->second) {
+      ++rejected_auth_;
+      return AddResult::bad_digest;
+    }
+  }
+
+  const std::vector<std::byte> coeff_row = coeffs_.row(message.message_id);
+  if (!solver_.add_row(coeff_row.data(), message.payload.data())) {
+    ++non_innovative_;
+    return AddResult::non_innovative;
+  }
+  ++accepted_;
+  return AddResult::accepted;
+}
+
+AddResult FileDecoder::add_recoded(const RecodedMessage& message) {
+  if (solver_.complete()) return AddResult::already_complete;
+  if (message.file_id != info_.file_id) return AddResult::wrong_file;
+  if (message.payload.size() != info_.params.message_bytes())
+    return AddResult::bad_size;
+  const std::vector<std::byte> row =
+      effective_row(coeffs_, message, info_.params);
+  if (!solver_.add_row(row.data(), message.payload.data())) {
+    ++non_innovative_;
+    return AddResult::non_innovative;
+  }
+  ++accepted_;
+  return AddResult::accepted;
+}
+
+std::vector<std::byte> FileDecoder::reconstruct() const {
+  assert(complete());
+  const std::size_t chunk_bytes = info_.params.message_bytes();
+  std::vector<std::byte> out(info_.k * chunk_bytes);
+  for (std::size_t i = 0; i < info_.k; ++i)
+    std::memcpy(out.data() + i * chunk_bytes, solver_.chunk(i), chunk_bytes);
+  out.resize(info_.original_bytes);
+  return out;
+}
+
+}  // namespace fairshare::coding

@@ -1,0 +1,84 @@
+// File decoder: collects coded messages from any mix of peers, regenerates
+// their secret coefficient rows, and reconstructs the file the moment k
+// innovative messages have arrived (Section III-B).
+//
+// Authentication: when the FileInfo carries per-message MD5 digests, every
+// incoming message is checked before it touches the solver, so a malicious
+// peer "injecting fake messages into the network" (Section III-C) is
+// rejected rather than corrupting the decode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "coding/coefficients.hpp"
+#include "coding/message.hpp"
+#include "coding/recoding.hpp"
+#include "linalg/progressive.hpp"
+
+namespace fairshare::coding {
+
+/// Outcome of feeding one message to the decoder.
+enum class AddResult {
+  accepted,        ///< innovative; rank increased
+  non_innovative,  ///< authentic but linearly dependent on prior messages
+  bad_digest,      ///< failed MD5 authentication (or unknown message id)
+  wrong_file,      ///< file_id mismatch
+  bad_size,        ///< payload length does not match m
+  already_complete ///< decode finished; message ignored
+};
+
+class FileDecoder {
+ public:
+  /// `require_digests`: when true (default), messages whose id has no
+  /// digest in `info` are rejected — the paper's download-time
+  /// authentication.  Set false only for experiments that model a user who
+  /// did not carry the digest table.
+  FileDecoder(const SecretKey& secret, const FileInfo& info,
+              bool require_digests = true);
+
+  AddResult add(const EncodedMessage& message);
+
+  /// Fold in a peer-recoded packet (recoding.hpp).  Its effective
+  /// coefficient row is expanded from the secret.  NOTE: no per-message
+  /// digest check is possible — the owner never hashed this combination —
+  /// which is precisely why the paper's design forwards verbatim; callers
+  /// must verify the final content digest instead.
+  AddResult add_recoded(const RecodedMessage& message);
+
+  /// Parallelize payload row operations over `pool` (see
+  /// linalg::ProgressiveSolver::set_thread_pool).
+  void set_thread_pool(util::ThreadPool* pool) {
+    solver_.set_thread_pool(pool);
+  }
+
+  /// Register the digest of a message generated after the FileInfo
+  /// snapshot was taken (e.g. fetched live from the owning peer while it
+  /// encodes fresh messages on demand).
+  void add_digest(std::uint64_t message_id, const crypto::Md5Digest& digest) {
+    info_.message_digests[message_id] = digest;
+  }
+
+  bool complete() const { return solver_.complete(); }
+  std::size_t rank() const { return solver_.rank(); }
+  std::size_t k() const { return info_.k; }
+
+  std::size_t accepted() const { return accepted_; }
+  std::size_t rejected_auth() const { return rejected_auth_; }
+  std::size_t non_innovative() const { return non_innovative_; }
+
+  /// Reconstructed file (original_bytes long).  Precondition: complete().
+  std::vector<std::byte> reconstruct() const;
+
+ private:
+  FileInfo info_;
+  bool require_digests_;
+  CoefficientGenerator coeffs_;
+  linalg::ProgressiveSolver solver_;
+  std::size_t accepted_ = 0;
+  std::size_t rejected_auth_ = 0;
+  std::size_t non_innovative_ = 0;
+};
+
+}  // namespace fairshare::coding

@@ -1,0 +1,64 @@
+#include "coding/encoder.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace fairshare::coding {
+
+FileEncoder::FileEncoder(const SecretKey& secret, std::uint64_t file_id,
+                         std::span<const std::byte> data,
+                         const CodingParams& params)
+    : secret_(secret),
+      params_(params),
+      k_(chunks_for_bytes(data.size(), params)),
+      chunk_bytes_(params.message_bytes()),
+      coeffs_(secret, file_id, params, k_),
+      batch_rank_(params.field, k_) {
+  assert(k_ > 0 && "empty files cannot be encoded");
+  assert((params.field != gf::FieldId::gf2_4 || params.m % 2 == 0) &&
+         "GF(2^4) requires even m for byte-aligned chunks");
+
+  // Lay the file out as k chunks of m packed symbols; the packed wire
+  // representation is plain little-endian bytes, so this is a copy + pad.
+  chunks_.assign(k_ * chunk_bytes_, std::byte{0});
+  std::memcpy(chunks_.data(), data.data(), data.size());
+
+  info_.file_id = file_id;
+  info_.original_bytes = data.size();
+  info_.params = params;
+  info_.k = k_;
+  info_.content_digest = crypto::Md5::hash(data);
+}
+
+EncodedMessage FileEncoder::next_message() {
+  const auto& f = gf::field_view(params_.field);
+  for (;;) {
+    const std::uint64_t candidate = next_id_++;
+    const std::vector<std::uint64_t> symbols = coeffs_.row_symbols(candidate);
+    if (!batch_rank_.add_row(symbols)) continue;  // dependent; skip this id
+    if (batch_rank_.full())
+      batch_rank_ = linalg::IncrementalRank(params_.field, k_);
+
+    EncodedMessage msg;
+    msg.file_id = info_.file_id;
+    msg.message_id = candidate;
+    msg.payload.assign(chunk_bytes_, std::byte{0});
+    for (std::size_t j = 0; j < k_; ++j) {
+      if (symbols[j] != 0)
+        f.axpy(msg.payload.data(), chunks_.data() + j * chunk_bytes_,
+               symbols[j], params_.m);
+    }
+    info_.message_digests.emplace(candidate, msg.digest());
+    ++generated_;
+    return msg;
+  }
+}
+
+std::vector<EncodedMessage> FileEncoder::generate(std::size_t count) {
+  std::vector<EncodedMessage> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(next_message());
+  return out;
+}
+
+}  // namespace fairshare::coding

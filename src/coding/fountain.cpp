@@ -1,0 +1,158 @@
+#include "coding/fountain.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace fairshare::coding {
+
+// ---------------------------------------------------------- RobustSoliton
+
+RobustSoliton::RobustSoliton(std::size_t k, double c, double delta) : k_(k) {
+  assert(k >= 1);
+  const double kd = static_cast<double>(k);
+  // Ideal soliton rho(d).
+  std::vector<double> rho(k + 1, 0.0);
+  rho[1] = 1.0 / kd;
+  for (std::size_t d = 2; d <= k; ++d)
+    rho[d] = 1.0 / (static_cast<double>(d) * static_cast<double>(d - 1));
+  // Robust addition tau(d) with spike at k/R.
+  const double big_r = c * std::log(kd / delta) * std::sqrt(kd);
+  std::vector<double> tau(k + 1, 0.0);
+  if (big_r >= 1.0 && k >= 2) {
+    const auto spike = static_cast<std::size_t>(
+        std::max(1.0, std::min(kd, std::floor(kd / big_r))));
+    for (std::size_t d = 1; d < spike; ++d)
+      tau[d] = big_r / (static_cast<double>(d) * kd);
+    tau[spike] = big_r * std::log(big_r / delta) / kd;
+    if (tau[spike] < 0) tau[spike] = 0;
+  }
+  double beta = 0.0;
+  for (std::size_t d = 1; d <= k; ++d) beta += rho[d] + tau[d];
+  pmf_.assign(k + 1, 0.0);
+  cdf_.assign(k + 1, 0.0);
+  double acc = 0.0;
+  for (std::size_t d = 1; d <= k; ++d) {
+    pmf_[d] = (rho[d] + tau[d]) / beta;
+    acc += pmf_[d];
+    cdf_[d] = acc;
+  }
+}
+
+std::size_t RobustSoliton::sample(sim::SplitMix64& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin() + 1, cdf_.end(), u);
+  const auto d = static_cast<std::size_t>(it - cdf_.begin());
+  return std::min(d, k_);
+}
+
+// -------------------------------------------------------------- LtEncoder
+
+LtEncoder::LtEncoder(std::span<const std::byte> data, std::size_t block_bytes)
+    : block_bytes_(block_bytes),
+      k_((data.size() + block_bytes - 1) / block_bytes),
+      original_bytes_(data.size()),
+      soliton_(std::max<std::size_t>(k_, 1)) {
+  assert(block_bytes >= 1);
+  assert(!data.empty());
+  blocks_.assign(k_ * block_bytes_, std::byte{0});
+  std::memcpy(blocks_.data(), data.data(), data.size());
+}
+
+LtSymbol LtEncoder::next_symbol(sim::SplitMix64& rng) const {
+  const std::size_t degree = soliton_.sample(rng);
+  LtSymbol symbol;
+  symbol.sources.reserve(degree);
+  // Sample `degree` distinct blocks.
+  while (symbol.sources.size() < degree) {
+    const auto pick = static_cast<std::uint32_t>(rng.next_below(k_));
+    if (std::find(symbol.sources.begin(), symbol.sources.end(), pick) ==
+        symbol.sources.end())
+      symbol.sources.push_back(pick);
+  }
+  symbol.payload.assign(block_bytes_, std::byte{0});
+  for (std::uint32_t src : symbol.sources) {
+    const std::byte* block = blocks_.data() + src * block_bytes_;
+    for (std::size_t i = 0; i < block_bytes_; ++i)
+      symbol.payload[i] ^= block[i];
+  }
+  return symbol;
+}
+
+// -------------------------------------------------------------- LtDecoder
+
+LtDecoder::LtDecoder(std::size_t k, std::size_t block_bytes,
+                     std::size_t original_bytes)
+    : k_(k),
+      block_bytes_(block_bytes),
+      original_bytes_(original_bytes),
+      blocks_(k * block_bytes, std::byte{0}),
+      known_(k, false) {}
+
+void LtDecoder::add(LtSymbol symbol) {
+  if (complete()) return;
+  ++received_;
+  // Substitute already-known sources out of the symbol immediately.
+  auto it = symbol.sources.begin();
+  while (it != symbol.sources.end()) {
+    if (known_[*it]) {
+      const std::byte* block = blocks_.data() + *it * block_bytes_;
+      for (std::size_t i = 0; i < block_bytes_; ++i)
+        symbol.payload[i] ^= block[i];
+      it = symbol.sources.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (symbol.sources.empty()) return;  // fully redundant
+  pending_.push_back(std::move(symbol));
+  peel();
+}
+
+void LtDecoder::peel() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t s = 0; s < pending_.size();) {
+      LtSymbol& sym = pending_[s];
+      // Drop sources that became known since queuing.
+      auto it = sym.sources.begin();
+      while (it != sym.sources.end()) {
+        if (known_[*it]) {
+          const std::byte* block = blocks_.data() + *it * block_bytes_;
+          for (std::size_t i = 0; i < block_bytes_; ++i)
+            sym.payload[i] ^= block[i];
+          it = sym.sources.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (sym.sources.empty()) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(s));
+        continue;
+      }
+      if (sym.sources.size() == 1) {
+        // Release: this symbol IS the remaining block.
+        const std::uint32_t src = sym.sources.front();
+        std::memcpy(blocks_.data() + src * block_bytes_, sym.payload.data(),
+                    block_bytes_);
+        known_[src] = true;
+        ++decoded_count_;
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(s));
+        progress = true;
+        continue;
+      }
+      ++s;
+    }
+  }
+}
+
+std::vector<std::byte> LtDecoder::reconstruct() const {
+  assert(complete());
+  std::vector<std::byte> out = blocks_;
+  out.resize(original_bytes_);
+  return out;
+}
+
+}  // namespace fairshare::coding

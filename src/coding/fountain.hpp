@@ -1,0 +1,104 @@
+// LT fountain codes — the "digital fountain" baseline of the paper's
+// related work (Section II: "Erasure code type approaches such as digital
+// fountain [18] have been proposed for large scale content distribution").
+//
+// Implemented to compare against random linear coding on decoding overhead:
+// an LT decoder needs k + O(sqrt(k) ln^2(k/delta)) symbols (peeling over
+// the robust soliton degree distribution, XOR-only), while RLNC needs
+// exactly k (after screening) at the price of field arithmetic.  The
+// ablation bench/ablation_fountain measures both sides.
+//
+// Encoding: each output symbol XORs `d` source blocks, where d is drawn
+// from the robust soliton distribution and the d blocks are chosen
+// uniformly; the (seed-derived) choices ride along in the symbol header so
+// the decoder can rebuild the bipartite graph.  Decoding: classic peeling
+// (release degree-1 symbols, substitute, repeat).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fairshare::coding {
+
+/// Robust soliton degree distribution over {1..k}.
+class RobustSoliton {
+ public:
+  /// c and delta are the usual tuning knobs (Luby 2002); defaults follow
+  /// common practice.
+  RobustSoliton(std::size_t k, double c = 0.1, double delta = 0.5);
+
+  /// Sample a degree.
+  std::size_t sample(sim::SplitMix64& rng) const;
+
+  /// Probability mass of degree d (for tests).
+  double pmf(std::size_t d) const { return pmf_[d]; }
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  std::vector<double> pmf_;  // index 1..k
+  std::vector<double> cdf_;
+};
+
+/// One LT-coded symbol: the XOR of `sources` blocks.
+struct LtSymbol {
+  std::vector<std::uint32_t> sources;  ///< distinct source-block indices
+  std::vector<std::byte> payload;      ///< XOR of those blocks
+};
+
+/// LT encoder over fixed-size blocks.
+class LtEncoder {
+ public:
+  /// Splits `data` into k blocks of `block_bytes` (zero-padded tail).
+  LtEncoder(std::span<const std::byte> data, std::size_t block_bytes);
+
+  std::size_t k() const { return k_; }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  /// Next coded symbol; degree/source choices from `rng`.
+  LtSymbol next_symbol(sim::SplitMix64& rng) const;
+
+ private:
+  std::size_t block_bytes_;
+  std::size_t k_;
+  std::size_t original_bytes_;
+  std::vector<std::byte> blocks_;  // k * block_bytes
+  RobustSoliton soliton_;
+
+  friend class LtDecoder;
+};
+
+/// Peeling decoder.
+class LtDecoder {
+ public:
+  LtDecoder(std::size_t k, std::size_t block_bytes,
+            std::size_t original_bytes);
+
+  /// Feed one symbol; returns true when it (eventually) contributed.
+  void add(LtSymbol symbol);
+
+  bool complete() const { return decoded_count_ == k_; }
+  std::size_t decoded_blocks() const { return decoded_count_; }
+  std::size_t symbols_received() const { return received_; }
+
+  /// Precondition: complete().
+  std::vector<std::byte> reconstruct() const;
+
+ private:
+  void peel();
+
+  std::size_t k_;
+  std::size_t block_bytes_;
+  std::size_t original_bytes_;
+  std::size_t decoded_count_ = 0;
+  std::size_t received_ = 0;
+  std::vector<std::byte> blocks_;   // decoded blocks
+  std::vector<bool> known_;         // which blocks are decoded
+  std::vector<LtSymbol> pending_;   // symbols with >1 unknown source
+};
+
+}  // namespace fairshare::coding

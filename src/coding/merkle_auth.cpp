@@ -1,0 +1,52 @@
+#include "coding/merkle_auth.hpp"
+
+#include <cassert>
+
+namespace fairshare::coding {
+
+namespace {
+
+std::vector<crypto::Sha256Digest> leaf_hashes(
+    std::span<const EncodedMessage> messages) {
+  std::vector<crypto::Sha256Digest> leaves;
+  leaves.reserve(messages.size());
+  for (const EncodedMessage& m : messages)
+    leaves.push_back(crypto::merkle_leaf_hash(
+        std::span<const std::byte>(m.serialize())));
+  return leaves;
+}
+
+}  // namespace
+
+MerkleAuthenticator::MerkleAuthenticator(
+    std::span<const EncodedMessage> messages)
+    : tree_(leaf_hashes(messages)) {}
+
+AuthenticatedMessage MerkleAuthenticator::attach(const EncodedMessage& message,
+                                                 std::size_t index) const {
+  assert(index < tree_.leaf_count());
+  AuthenticatedMessage am;
+  am.message = message;
+  am.leaf_index = static_cast<std::uint32_t>(index);
+  am.proof = tree_.proof(index);
+  return am;
+}
+
+std::vector<AuthenticatedMessage> MerkleAuthenticator::attach_all(
+    std::span<const EncodedMessage> messages) const {
+  assert(messages.size() == tree_.leaf_count());
+  std::vector<AuthenticatedMessage> out;
+  out.reserve(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i)
+    out.push_back(attach(messages[i], i));
+  return out;
+}
+
+bool MerkleVerifier::verify(const AuthenticatedMessage& am) const {
+  const crypto::Sha256Digest leaf = crypto::merkle_leaf_hash(
+      std::span<const std::byte>(am.message.serialize()));
+  return crypto::MerkleTree::verify(root_, leaf_count_, am.leaf_index, leaf,
+                                    am.proof);
+}
+
+}  // namespace fairshare::coding

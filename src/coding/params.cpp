@@ -1,0 +1,17 @@
+#include "coding/params.hpp"
+
+#include "gf/row_ops.hpp"
+
+namespace fairshare::coding {
+
+std::size_t CodingParams::message_bytes() const {
+  return gf::field_view(field).row_bytes(m);
+}
+
+std::size_t chunks_for_bytes(std::size_t bytes, const CodingParams& params) {
+  const std::size_t bits_per_chunk = params.m * params.bits();
+  const std::size_t total_bits = bytes * 8;
+  return (total_bits + bits_per_chunk - 1) / bits_per_chunk;
+}
+
+}  // namespace fairshare::coding

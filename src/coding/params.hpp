@@ -1,0 +1,34 @@
+// Coding parameters (q, m, k) and the arithmetic linking them.
+//
+// Section III-A: a file of b bits is split into k chunks, each an m-element
+// vector over F_q with q = 2^p and m*p*k = b.  Table I of the paper
+// tabulates k for 1 MB of data across the (q, m) grid; messages_required()
+// reproduces that table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/field_id.hpp"
+
+namespace fairshare::coding {
+
+/// Field and message-length choice for one encoded file.
+struct CodingParams {
+  gf::FieldId field = gf::FieldId::gf2_32;  ///< q = 2^p
+  std::size_t m = 1u << 15;                 ///< symbols per message
+
+  unsigned bits() const { return gf::field_bits(field); }
+  /// Payload bytes of one encoded message (packed symbols).
+  std::size_t message_bytes() const;
+  /// The paper's defaults: k = 8, m = 32768, q = 2^32 (Section III-C).
+  static CodingParams paper_defaults() {
+    return CodingParams{gf::FieldId::gf2_32, 1u << 15};
+  }
+};
+
+/// Number of chunks k needed to cover `bytes` of data:
+/// k = ceil(8*bytes / (m*p)).  This is Table I when bytes = 2^20.
+std::size_t chunks_for_bytes(std::size_t bytes, const CodingParams& params);
+
+}  // namespace fairshare::coding

@@ -1,0 +1,96 @@
+#include "coding/update.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/md5.hpp"
+
+namespace fairshare::coding {
+
+std::size_t UpdatePlan::retransmit_bytes(std::size_t peers,
+                                         const CodingParams& params) const {
+  std::size_t total = 0;
+  for (std::size_t u : changed_units) {
+    const std::size_t unit_len =
+        (u + 1 < new_unit_count)
+            ? unit_bytes
+            : unit_bytes;  // conservative: full-unit cost for the tail too
+    const std::size_t k = chunks_for_bytes(std::max<std::size_t>(unit_len, 1),
+                                           params);
+    total += k * (16 + params.message_bytes()) * peers;
+  }
+  return total;
+}
+
+std::size_t UpdatePlan::full_retransmit_bytes(
+    std::size_t peers, const CodingParams& params) const {
+  const std::size_t k = chunks_for_bytes(unit_bytes, params);
+  return new_unit_count * k * (16 + params.message_bytes()) * peers;
+}
+
+UpdatePlan plan_update(const ChunkedFileInfo& current,
+                       std::span<const std::byte> new_data) {
+  assert(current.unit_bytes > 0);
+  UpdatePlan plan;
+  plan.unit_bytes = current.unit_bytes;
+  plan.old_unit_count = current.units.size();
+  plan.new_unit_count =
+      (new_data.size() + current.unit_bytes - 1) / current.unit_bytes;
+  if (new_data.empty()) plan.new_unit_count = 0;
+
+  for (std::size_t u = 0; u < plan.new_unit_count; ++u) {
+    const std::size_t off = u * current.unit_bytes;
+    const std::size_t len =
+        std::min(current.unit_bytes, new_data.size() - off);
+    if (u >= plan.old_unit_count) {
+      plan.changed_units.push_back(u);  // appended unit
+      continue;
+    }
+    const FileInfo& old_unit = current.units[u];
+    if (old_unit.original_bytes != len) {
+      plan.changed_units.push_back(u);  // length change (tail unit)
+      continue;
+    }
+    const crypto::Md5Digest digest =
+        crypto::Md5::hash(new_data.subspan(off, len));
+    if (digest != old_unit.content_digest) plan.changed_units.push_back(u);
+  }
+  return plan;
+}
+
+FileUpdate apply_update(const SecretKey& secret,
+                        const ChunkedFileInfo& current,
+                        std::span<const std::byte> new_data,
+                        std::uint64_t new_version_base_id) {
+  const UpdatePlan plan = plan_update(current, new_data);
+  assert(!current.units.empty());
+  const CodingParams params = current.units.front().params;
+
+  FileUpdate update;
+  update.changed_units = plan.changed_units;
+  update.info.base_file_id = current.base_file_id;
+  update.info.total_bytes = new_data.size();
+  update.info.unit_bytes = current.unit_bytes;
+  update.info.units.reserve(plan.new_unit_count);
+
+  std::size_t next_changed = 0;
+  for (std::size_t u = 0; u < plan.new_unit_count; ++u) {
+    const bool changed = next_changed < plan.changed_units.size() &&
+                         plan.changed_units[next_changed] == u;
+    if (!changed) {
+      update.info.units.push_back(current.units[u]);  // old metadata valid
+      continue;
+    }
+    ++next_changed;
+    const std::size_t off = u * current.unit_bytes;
+    const std::size_t len =
+        std::min(current.unit_bytes, new_data.size() - off);
+    auto encoder = std::make_unique<FileEncoder>(
+        secret, new_version_base_id + u, new_data.subspan(off, len), params);
+    update.info.units.push_back(encoder->info());
+    update.encoders.push_back(std::move(encoder));
+  }
+  return update;
+}
+
+}  // namespace fairshare::coding

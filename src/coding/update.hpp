@@ -1,0 +1,68 @@
+// Incremental updates of shared files (paper future work, Section VI-A).
+//
+// "Such a system would also require an efficient means of handling rapid
+// changes and modifications of data (in the current incarnation,
+// modifications have to be re-encoded and re-transmitted to the network)."
+//
+// Because Section III-D already splits large files into independently
+// encoded 1 MB units, a modification only invalidates the units whose
+// bytes changed.  plan_update() diffs new content against the per-unit
+// content digests in the carried metadata; apply_update() re-encodes only
+// those units (under fresh file ids, so peers' stored messages for
+// unchanged units stay valid) and produces the updated combined metadata.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coding/chunker.hpp"
+
+namespace fairshare::coding {
+
+/// Which units of a modified file must be re-encoded and re-disseminated.
+struct UpdatePlan {
+  std::vector<std::size_t> changed_units;  ///< indices in the NEW layout
+  std::size_t new_unit_count = 0;
+  std::size_t old_unit_count = 0;
+  std::size_t unit_bytes = 0;
+
+  std::size_t unchanged_units() const {
+    return new_unit_count - changed_units.size();
+  }
+
+  /// Coded bytes that must be re-disseminated to `peers` peers (k messages
+  /// per peer per changed unit).
+  std::size_t retransmit_bytes(std::size_t peers,
+                               const CodingParams& params) const;
+  /// What a naive full re-share would cost.
+  std::size_t full_retransmit_bytes(std::size_t peers,
+                                    const CodingParams& params) const;
+};
+
+/// Diff `new_data` against the metadata of the currently shared version.
+/// A unit is "changed" when its MD5 differs, it is new (beyond the old
+/// length), or its length changed (trailing unit growth/shrink).
+UpdatePlan plan_update(const ChunkedFileInfo& current,
+                       std::span<const std::byte> new_data);
+
+/// The re-encoded version: fresh encoders for changed units plus the full
+/// updated metadata (unchanged units keep their old FileInfo verbatim).
+struct FileUpdate {
+  ChunkedFileInfo info;
+  /// One encoder per changed unit, aligned with `changed_units`.
+  std::vector<std::unique_ptr<FileEncoder>> encoders;
+  std::vector<std::size_t> changed_units;
+};
+
+/// Re-encode the changed units of `new_data` under file ids
+/// `new_version_base_id + unit`.  The coding parameters are taken from the
+/// current metadata.  Precondition: every unit of `current` used the same
+/// CodingParams (true for ChunkedEncoder output).
+FileUpdate apply_update(const SecretKey& secret,
+                        const ChunkedFileInfo& current,
+                        std::span<const std::byte> new_data,
+                        std::uint64_t new_version_base_id);
+
+}  // namespace fairshare::coding

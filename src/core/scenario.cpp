@@ -1,0 +1,67 @@
+#include "core/scenario.hpp"
+
+#include <cassert>
+
+namespace fairshare::core {
+
+std::size_t Scenario::add_peer(double upload_kbps) {
+  sim::PeerSetup setup;
+  setup.upload_kbps = upload_kbps;
+  peers_.push_back(std::move(setup));
+  return peers_.size() - 1;
+}
+
+std::size_t Scenario::add_peer(sim::PeerSetup setup) {
+  peers_.push_back(std::move(setup));
+  return peers_.size() - 1;
+}
+
+Scenario& Scenario::demand(std::size_t i,
+                           std::shared_ptr<sim::DemandProcess> d) {
+  peers_.at(i).demand = std::move(d);
+  return *this;
+}
+
+Scenario& Scenario::policy(std::size_t i,
+                           std::shared_ptr<alloc::AllocationPolicy> p) {
+  peers_.at(i).policy = std::move(p);
+  return *this;
+}
+
+Scenario& Scenario::declares(std::size_t i, double kbps) {
+  peers_.at(i).declared_kbps = kbps;
+  return *this;
+}
+
+Scenario& Scenario::contributes_when(
+    std::size_t i, std::function<bool(std::uint64_t)> gate) {
+  peers_.at(i).contributes = std::move(gate);
+  return *this;
+}
+
+Scenario& Scenario::capacity_schedule(
+    std::size_t i, std::function<double(std::uint64_t)> schedule) {
+  peers_.at(i).capacity_schedule = std::move(schedule);
+  return *this;
+}
+
+sim::Simulator Scenario::build() const {
+  std::vector<sim::PeerSetup> peers = peers_;
+  for (auto& p : peers) {
+    if (!p.demand) p.demand = std::make_shared<sim::AlwaysDemand>();
+    if (!p.policy)
+      p.policy = std::make_shared<alloc::ProportionalContributionPolicy>(
+          peers.size(), epsilon_);
+  }
+  return sim::Simulator(std::move(peers), config_);
+}
+
+Scenario saturated_scenario(const std::vector<double>& uploads_kbps,
+                            double epsilon) {
+  Scenario s;
+  s.epsilon(epsilon);
+  for (double u : uploads_kbps) s.add_peer(u);
+  return s;
+}
+
+}  // namespace fairshare::core

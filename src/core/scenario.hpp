@@ -1,0 +1,70 @@
+// Convenience builder for rate-level sharing scenarios.
+//
+// The figures of Section V are all instances of "n peers, given upload
+// capacities, given demand patterns, Equation (2) unless stated";
+// Scenario captures that shape so experiments read like the paper's
+// prose.  For message-level experiments (real coded bytes, RSA sessions)
+// use p2p::System directly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "alloc/policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace fairshare::core {
+
+class Scenario {
+ public:
+  /// Allocation-ledger seed epsilon for Equation (2) peers ("small and
+  /// equal non-zero contribution between every two peers", Section V).
+  Scenario& epsilon(double value) {
+    epsilon_ = value;
+    return *this;
+  }
+
+  /// Allocation granularity (Section III-D quantization), kbps.
+  Scenario& quantum(double kbps) {
+    config_.quantum_kbps = kbps;
+    return *this;
+  }
+
+  /// Add a peer with the paper's Equation (2) policy and saturated demand;
+  /// returns the peer index.  Refine with the setters below.
+  std::size_t add_peer(double upload_kbps);
+
+  /// Add a fully custom peer.
+  std::size_t add_peer(sim::PeerSetup setup);
+
+  /// Replace peer i's demand process.
+  Scenario& demand(std::size_t i, std::shared_ptr<sim::DemandProcess> d);
+  /// Replace peer i's allocation policy.
+  Scenario& policy(std::size_t i, std::shared_ptr<alloc::AllocationPolicy> p);
+  /// Make peer i declare a (possibly false) capacity.
+  Scenario& declares(std::size_t i, double kbps);
+  /// Gate peer i's contribution by a slot predicate (late joiners).
+  Scenario& contributes_when(std::size_t i,
+                             std::function<bool(std::uint64_t)> gate);
+  /// Time-varying capacity for peer i (drops/recoveries).
+  Scenario& capacity_schedule(std::size_t i,
+                              std::function<double(std::uint64_t)> schedule);
+
+  std::size_t size() const { return peers_.size(); }
+
+  /// Materialize the simulator.  Policies default to Equation (2) with the
+  /// scenario epsilon; demand defaults to AlwaysDemand.
+  sim::Simulator build() const;
+
+ private:
+  double epsilon_ = 1.0;
+  sim::SimConfig config_;
+  std::vector<sim::PeerSetup> peers_;
+};
+
+/// n saturated Equation-(2) peers with the given upload capacities — the
+/// Figure 5 shape.
+Scenario saturated_scenario(const std::vector<double>& uploads_kbps,
+                            double epsilon = 1.0);
+
+}  // namespace fairshare::core

@@ -1,0 +1,544 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <span>
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+
+namespace fairshare::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+}
+
+void BigUInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt::BigUInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+BigUInt BigUInt::from_hex(std::string_view hex) {
+  BigUInt out;
+  for (char c : hex) {
+    unsigned digit;
+    if (c >= '0' && c <= '9')
+      digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      digit = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      digit = static_cast<unsigned>(c - 'A' + 10);
+    else
+      throw std::invalid_argument("BigUInt::from_hex: bad digit");
+    // out = out * 16 + digit
+    std::uint64_t carry = digit;
+    for (auto& limb : out.limbs_) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(limb) << 4) | carry;
+      limb = static_cast<std::uint32_t>(v);
+      carry = v >> 32;
+    }
+    if (carry != 0) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  }
+  return out;
+}
+
+BigUInt BigUInt::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  BigUInt out;
+  const std::size_t n = bytes.size();
+  out.limbs_.assign((n + 3) / 4, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t pos = n - 1 - i;  // byte significance
+    out.limbs_[pos / 4] |= static_cast<std::uint32_t>(bytes[i])
+                           << (8 * (pos % 4));
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::random_bits(std::size_t bits, ChaCha20& rng) {
+  assert(bits >= 1);
+  BigUInt out;
+  out.limbs_.assign((bits + 31) / 32, 0);
+  for (auto& limb : out.limbs_) limb = rng.next_u32();
+  const std::size_t top = (bits - 1) % 32;
+  // Mask off excess bits, then force the top bit so bit_length() == bits.
+  out.limbs_.back() &= (top == 31) ? ~std::uint32_t{0}
+                                   : ((std::uint32_t{1} << (top + 1)) - 1);
+  out.limbs_.back() |= std::uint32_t{1} << top;
+  return out;
+}
+
+BigUInt BigUInt::random_below(const BigUInt& bound, ChaCha20& rng) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  for (;;) {
+    BigUInt candidate;
+    candidate.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& limb : candidate.limbs_) limb = rng.next_u32();
+    const std::size_t excess = candidate.limbs_.size() * 32 - bits;
+    if (excess > 0) candidate.limbs_.back() >>= excess;
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4)
+      out.push_back(kHex[(limbs_[i] >> shift) & 0xF]);
+  }
+  const std::size_t nz = out.find_first_not_of('0');
+  return out.substr(nz);
+}
+
+std::vector<std::uint8_t> BigUInt::to_bytes_be(std::size_t min_len) const {
+  std::vector<std::uint8_t> out;
+  const std::size_t total_bytes = (bit_length() + 7) / 8;
+  const std::size_t len = std::max(total_bytes, min_len);
+  out.assign(len, 0);
+  for (std::size_t pos = 0; pos < total_bytes; ++pos) {
+    out[len - 1 - pos] = static_cast<std::uint8_t>(
+        limbs_[pos / 4] >> (8 * (pos % 4)));
+  }
+  return out;
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t BigUInt::low_u64() const {
+  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::strong_ordering BigUInt::operator<=>(const BigUInt& other) const {
+  if (limbs_.size() != other.limbs_.size())
+    return limbs_.size() <=> other.limbs_.size();
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] <=> other.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigUInt BigUInt::operator+(const BigUInt& other) const {
+  BigUInt out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = carry;
+    if (i < limbs_.size()) v += limbs_[i];
+    if (i < other.limbs_.size()) v += other.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(v));
+    carry = v >> 32;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigUInt BigUInt::operator-(const BigUInt& other) const {
+  assert(*this >= other);
+  BigUInt out;
+  out.limbs_.reserve(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t v = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) v -= other.limbs_[i];
+    borrow = 0;
+    if (v < 0) {
+      v += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(v));
+  }
+  assert(borrow == 0);
+  out.trim();
+  return out;
+}
+
+namespace {
+
+using Limbs = std::vector<std::uint32_t>;
+
+Limbs limbs_mul_school(std::span<const std::uint32_t> a,
+                       std::span<const std::uint32_t> b) {
+  Limbs out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::uint64_t v = ai * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(v);
+      carry = v >> 32;
+    }
+    out[i + b.size()] = static_cast<std::uint32_t>(carry);
+  }
+  return out;
+}
+
+Limbs limbs_add(std::span<const std::uint32_t> a,
+                std::span<const std::uint32_t> b) {
+  Limbs out(std::max(a.size(), b.size()) + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t v = carry;
+    if (i < a.size()) v += a[i];
+    if (i < b.size()) v += b[i];
+    out[i] = static_cast<std::uint32_t>(v);
+    carry = v >> 32;
+  }
+  return out;
+}
+
+// out -= sub at limb offset `shift`; out must stay non-negative.
+void limbs_sub_inplace(Limbs& out, const Limbs& sub, std::size_t shift = 0) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < sub.size() || borrow != 0; ++i) {
+    std::int64_t v = static_cast<std::int64_t>(out[i + shift]) - borrow;
+    if (i < sub.size()) v -= sub[i];
+    borrow = 0;
+    if (v < 0) {
+      v += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    }
+    out[i + shift] = static_cast<std::uint32_t>(v);
+  }
+}
+
+void limbs_add_inplace(Limbs& out, const Limbs& add, std::size_t shift) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < add.size() || carry != 0; ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(out[i + shift]) + carry;
+    if (i < add.size()) v += add[i];
+    out[i + shift] = static_cast<std::uint32_t>(v);
+    carry = v >> 32;
+  }
+}
+
+// Below this limb count, schoolbook's cache behavior wins.
+constexpr std::size_t kKaratsubaThreshold = 24;
+
+Limbs limbs_mul(std::span<const std::uint32_t> a,
+                std::span<const std::uint32_t> b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold)
+    return limbs_mul_school(a, b);
+
+  // Karatsuba: split both at half the larger operand.
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  const auto a0 = a.subspan(0, std::min(half, a.size()));
+  const auto a1 = a.size() > half ? a.subspan(half) : std::span<const std::uint32_t>{};
+  const auto b0 = b.subspan(0, std::min(half, b.size()));
+  const auto b1 = b.size() > half ? b.subspan(half) : std::span<const std::uint32_t>{};
+
+  const auto trim = [](Limbs& v) {
+    while (!v.empty() && v.back() == 0) v.pop_back();
+  };
+
+  Limbs z0 = limbs_mul(a0, b0);
+  Limbs z2 = limbs_mul(a1, b1);
+  const Limbs sa = limbs_add(a0, a1);
+  const Limbs sb = limbs_add(b0, b1);
+  Limbs z1 = limbs_mul(sa, sb);
+  limbs_sub_inplace(z1, z0);
+  limbs_sub_inplace(z1, z2);
+  // Trim leading zero limbs: the vectors carry slack capacity, and adding
+  // untrimmed zeros below would index past the exact-size output buffer.
+  trim(z0);
+  trim(z1);
+  trim(z2);
+
+  Limbs out(a.size() + b.size() + 1, 0);
+  limbs_add_inplace(out, z0, 0);
+  limbs_add_inplace(out, z1, half);
+  limbs_add_inplace(out, z2, 2 * half);
+  return out;
+}
+
+}  // namespace
+
+BigUInt mul_schoolbook(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt{};
+  BigUInt out;
+  out.limbs_ = limbs_mul_school(a.limbs_, b.limbs_);
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator*(const BigUInt& other) const {
+  if (is_zero() || other.is_zero()) return BigUInt{};
+  BigUInt out;
+  out.limbs_ = limbs_mul(limbs_, other.limbs_);
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const unsigned bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator>>(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const unsigned bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigUInt{};
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >>
+                      bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+DivMod BigUInt::divmod(const BigUInt& dividend, const BigUInt& divisor) {
+  assert(!divisor.is_zero());
+  if (dividend < divisor) return {BigUInt{}, dividend};
+
+  // Single-limb divisor: straightforward short division.
+  if (divisor.limbs_.size() == 1) {
+    const std::uint64_t d = divisor.limbs_[0];
+    BigUInt q;
+    q.limbs_.assign(dividend.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | dividend.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {std::move(q), BigUInt{rem}};
+  }
+
+  // Knuth Algorithm D (TAOCP vol. 2, 4.3.1).
+  const unsigned shift =
+      static_cast<unsigned>(std::countl_zero(divisor.limbs_.back()));
+  const BigUInt un_big = dividend << shift;
+  const BigUInt vn = divisor << shift;
+  const std::size_t n = vn.limbs_.size();
+  const std::size_t m = dividend.limbs_.size() - n +
+                        (un_big.limbs_.size() > dividend.limbs_.size() ? 1 : 0);
+
+  // u gets an explicit extra high limb.
+  std::vector<std::uint32_t> u = un_big.limbs_;
+  u.resize(dividend.limbs_.size() + 1, 0);
+  const std::vector<std::uint32_t>& v = vn.limbs_;
+
+  BigUInt q;
+  q.limbs_.assign(u.size() - n, 0);
+
+  for (std::size_t j = u.size() - n; j-- > 0;) {
+    // Estimate qhat from the top two limbs of the current remainder window.
+    const std::uint64_t top =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = top / v[n - 1];
+    std::uint64_t rhat = top % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-subtract u[j .. j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                             static_cast<std::int64_t>(p & 0xFFFFFFFF) -
+                             borrow;
+      u[i + j] = static_cast<std::uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large; add v back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      u[j + n] += static_cast<std::uint32_t>(c);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+  (void)m;
+
+  q.trim();
+  BigUInt r;
+  r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  return {std::move(q), r >> shift};
+}
+
+BigUInt BigUInt::operator/(const BigUInt& other) const {
+  return divmod(*this, other).quotient;
+}
+
+BigUInt BigUInt::operator%(const BigUInt& other) const {
+  return divmod(*this, other).remainder;
+}
+
+BigUInt BigUInt::mod_exp(const BigUInt& base, const BigUInt& exp,
+                         const BigUInt& modulus) {
+  assert(!modulus.is_zero());
+  if (modulus == BigUInt{1}) return BigUInt{};
+  BigUInt result{1};
+  BigUInt b = base % modulus;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = (result * b) % modulus;
+    b = (b * b) % modulus;
+  }
+  return result;
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::optional<BigUInt> BigUInt::mod_inverse(const BigUInt& a,
+                                            const BigUInt& m) {
+  // Extended Euclid with explicit signs on the Bezout coefficient for a.
+  BigUInt old_r = a % m, r = m;
+  BigUInt old_s{1}, s{};
+  bool old_s_neg = false, s_neg = false;
+  while (!r.is_zero()) {
+    const auto [q, rem] = divmod(old_r, r);
+    old_r = std::move(r);
+    r = rem;
+    // (old_s, s) <- (s, old_s - q*s) with sign tracking.
+    BigUInt qs = q * s;
+    BigUInt new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      // old_s - qs where both have sign `old_s_neg`.
+      if (old_s >= qs) {
+        new_s = old_s - qs;
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = qs - old_s;
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s + qs;
+      new_s_neg = old_s_neg;
+    }
+    old_s = std::move(s);
+    old_s_neg = s_neg;
+    s = std::move(new_s);
+    s_neg = new_s_neg;
+  }
+  if (old_r != BigUInt{1}) return std::nullopt;  // not coprime
+  BigUInt inv = old_s % m;
+  if (old_s_neg && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+namespace {
+
+// Small primes for trial division before Miller-Rabin.
+constexpr std::uint32_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103,
+    107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
+    179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241,
+    251, 257, 263, 269, 271, 277, 281, 283, 293};
+
+bool miller_rabin_round(const BigUInt& n, const BigUInt& n_minus_1,
+                        const BigUInt& d, std::size_t s, const BigUInt& a) {
+  BigUInt x = BigUInt::mod_exp(a, d, n);
+  if (x == BigUInt{1} || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < s; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUInt& n, ChaCha20& rng, int rounds) {
+  if (n < BigUInt{2}) return false;
+  if (n == BigUInt{2} || n == BigUInt{3}) return true;
+  if (!n.is_odd()) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUInt bp{p};
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  const BigUInt n_minus_1 = n - BigUInt{1};
+  BigUInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  if (!miller_rabin_round(n, n_minus_1, d, s, BigUInt{2})) return false;
+  const BigUInt span = n - BigUInt{4};  // witnesses in [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    const BigUInt a = BigUInt::random_below(span, rng) + BigUInt{2};
+    if (!miller_rabin_round(n, n_minus_1, d, s, a)) return false;
+  }
+  return true;
+}
+
+BigUInt generate_prime(std::size_t bits, ChaCha20& rng) {
+  assert(bits >= 16);
+  for (;;) {
+    BigUInt candidate = BigUInt::random_bits(bits, rng);
+    if (!candidate.is_odd()) candidate = candidate + BigUInt{1};
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace fairshare::crypto

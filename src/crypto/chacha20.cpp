@@ -1,0 +1,114 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace fairshare::crypto {
+
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t, kKeySize> key,
+                   std::span<const std::uint8_t, kNonceSize> nonce,
+                   std::uint32_t counter) {
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    // Diagonal rounds.
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state_[i];
+    block_[4 * i + 0] = static_cast<std::uint8_t>(v);
+    block_[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    block_[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    block_[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+  block_pos_ = 0;
+}
+
+void ChaCha20::generate(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (block_pos_ == kBlockSize) refill();
+    const std::size_t take =
+        std::min(out.size() - off, kBlockSize - block_pos_);
+    std::memcpy(out.data() + off, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    off += take;
+  }
+}
+
+std::uint8_t ChaCha20::next_byte() {
+  if (block_pos_ == kBlockSize) refill();
+  return block_[block_pos_++];
+}
+
+std::uint32_t ChaCha20::next_u32() {
+  std::uint8_t b[4];
+  generate(b);
+  return load_le32(b);
+}
+
+std::uint64_t ChaCha20::next_u64() {
+  const std::uint64_t lo = next_u32();
+  const std::uint64_t hi = next_u32();
+  return lo | (hi << 32);
+}
+
+std::uint64_t ChaCha20::uniform(std::uint64_t bound) {
+  assert(bound >= 1);
+  if (bound == 1) return 0;
+  // Rejection sampling on the smallest power-of-two mask >= bound.
+  const int bits = 64 - std::countl_zero(bound - 1);
+  const std::uint64_t mask =
+      bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  for (;;) {
+    std::uint64_t v;
+    if (bits <= 8)
+      v = next_byte() & mask;
+    else if (bits <= 32)
+      v = next_u32() & mask;
+    else
+      v = next_u64() & mask;
+    if (v < bound) return v;
+  }
+}
+
+}  // namespace fairshare::crypto

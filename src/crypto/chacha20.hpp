@@ -1,0 +1,61 @@
+// ChaCha20 stream generator (RFC 8439 block function), used as the
+// "cryptographically strong random number generator" of Section III-A.
+//
+// The paper draws each coefficient beta_ij "randomly ... using a
+// cryptographically strong random number generator seeded with a
+// cryptographic hash of i, and a secret key known only to the encoding
+// peer".  CoefficientStream reproduces exactly that construction: the
+// 256-bit ChaCha20 key is SHA-256(secret || file_id || message_id) and the
+// keystream is consumed as a sequence of field elements.  Anyone holding
+// the secret can regenerate beta_i from the plain-text message id; nobody
+// else can (Section III-C ties system security to this property).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fairshare::crypto {
+
+/// Raw ChaCha20 keystream generator.
+///
+/// Produces the RFC 8439 keystream for (key, nonce) starting at block
+/// `counter`.  This class only generates keystream (which is all the coder
+/// needs); XOR-with-plaintext encryption is a one-liner on top and is
+/// exercised in tests.
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  ChaCha20(std::span<const std::uint8_t, kKeySize> key,
+           std::span<const std::uint8_t, kNonceSize> nonce,
+           std::uint32_t counter = 0);
+
+  /// Fill `out` with the next keystream bytes.
+  void generate(std::span<std::uint8_t> out);
+
+  /// Next keystream byte.
+  std::uint8_t next_byte();
+
+  /// Next 32-bit keystream word (little-endian consumption).
+  std::uint32_t next_u32();
+
+  /// Next 64-bit keystream word.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound) by rejection sampling (no modulo bias);
+  /// bound must be >= 1.
+  std::uint64_t uniform(std::uint64_t bound);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, kBlockSize> block_;
+  std::size_t block_pos_ = kBlockSize;  // forces refill on first use
+};
+
+}  // namespace fairshare::crypto

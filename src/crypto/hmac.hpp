@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// Used to bind download-session traffic to the key agreed during the
+// challenge-response handshake (auth.hpp), so a man-in-the-middle cannot
+// splice messages into an authenticated session (the paper calls for
+// mutual authentication "to prevent man-in-the-middle or IP spoofing
+// attacks", Section III-B).
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace fairshare::crypto {
+
+/// HMAC-SHA256 of `data` under `key`.  Any key length is accepted; keys
+/// longer than the block size are hashed first, per the RFC.
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data);
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::byte> data);
+
+/// Constant-time digest comparison (avoids early-exit timing leaks when
+/// verifying tags).
+bool digest_equal(std::span<const std::uint8_t> a,
+                  std::span<const std::uint8_t> b);
+
+}  // namespace fairshare::crypto

@@ -1,0 +1,162 @@
+#include "crypto/md5.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace fairshare::crypto {
+
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321, Section 3.4).
+constexpr std::uint32_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(|sin(i+1)| * 2^32), computed once as the RFC defines it
+// (verified against the RFC test suite in tests/crypto/md5_test.cpp).
+const std::array<std::uint32_t, 64>& sine_table() {
+  static const std::array<std::uint32_t, 64> k = [] {
+    std::array<std::uint32_t, 64> t{};
+    for (int i = 0; i < 64; ++i)
+      t[i] = static_cast<std::uint32_t>(
+          std::floor(std::fabs(std::sin(static_cast<double>(i + 1))) *
+                     4294967296.0));
+    return t;
+  }();
+  return k;
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void Md5::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = load_le32(block + 4 * i);
+
+  const auto& k = sine_table();
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b += std::rotl(a + f + k[i] + m[g], static_cast<int>(kShift[i]));
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(std::span<const std::uint8_t> data) {
+  length_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    process_block(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+void Md5::update(std::span<const std::byte> data) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Md5Digest Md5::finish() {
+  const std::uint64_t bit_length = length_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(std::span<const std::uint8_t>(&pad_byte, 1));
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    len_bytes[i] = static_cast<std::uint8_t>(bit_length >> (8 * i));
+  update(std::span<const std::uint8_t>(len_bytes, 8));
+
+  Md5Digest digest;
+  for (int i = 0; i < 4; ++i) store_le32(digest.data() + 4 * i, state_[i]);
+  return digest;
+}
+
+Md5Digest Md5::hash(std::span<const std::uint8_t> data) {
+  Md5 h;
+  h.update(data);
+  return h.finish();
+}
+
+Md5Digest Md5::hash(std::span<const std::byte> data) {
+  Md5 h;
+  h.update(data);
+  return h.finish();
+}
+
+Md5Digest Md5::hash(std::string_view data) {
+  return hash(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+std::string to_hex(std::span<const std::uint8_t> digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (std::uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace fairshare::crypto

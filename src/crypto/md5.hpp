@@ -1,0 +1,56 @@
+// MD5 message digest (RFC 1321), implemented from the specification.
+//
+// The paper stores a 128-bit MD5 hash of every uploaded coded message on
+// the originating peer and uses it to authenticate messages on the fly
+// during download (Section III-C), at a cost of "128 hash bytes per
+// megabyte" for the paper's example parameters.  MD5 is used here for
+// protocol fidelity with the paper; it is NOT collision resistant by
+// modern standards (see sha256.hpp for the alternative the library also
+// supports).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fairshare::crypto {
+
+/// A 16-byte MD5 digest.
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/// Incremental MD5 hasher.
+///
+///   Md5 h;
+///   h.update(buf1); h.update(buf2);
+///   Md5Digest d = h.finish();
+///
+/// finish() may be called once; the object can be reused after reset().
+class Md5 {
+ public:
+  Md5() { reset(); }
+
+  void reset();
+  void update(std::span<const std::byte> data);
+  void update(std::span<const std::uint8_t> data);
+  Md5Digest finish();
+
+  /// One-shot convenience.
+  static Md5Digest hash(std::span<const std::byte> data);
+  static Md5Digest hash(std::span<const std::uint8_t> data);
+  static Md5Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t length_ = 0;  // total bytes seen
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+};
+
+/// Lowercase hex rendering of a digest, e.g. for logging/tests.
+std::string to_hex(std::span<const std::uint8_t> digest);
+
+}  // namespace fairshare::crypto

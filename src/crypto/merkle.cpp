@@ -1,0 +1,101 @@
+#include "crypto/merkle.hpp"
+
+#include <cassert>
+
+namespace fairshare::crypto {
+
+namespace {
+
+Sha256Digest interior_hash(const Sha256Digest& left,
+                           const Sha256Digest& right) {
+  Sha256 h;
+  const std::uint8_t tag = 0x01;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(std::span<const std::uint8_t>(left));
+  h.update(std::span<const std::uint8_t>(right));
+  return h.finish();
+}
+
+}  // namespace
+
+Sha256Digest merkle_leaf_hash(std::span<const std::uint8_t> data) {
+  Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(data);
+  return h.finish();
+}
+
+Sha256Digest merkle_leaf_hash(std::span<const std::byte> data) {
+  return merkle_leaf_hash(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+MerkleTree::MerkleTree(std::vector<Sha256Digest> leaves)
+    : leaf_count_(leaves.size()) {
+  assert(!leaves.empty());
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Sha256Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2)
+      next.push_back(interior_hash(prev[i], prev[i + 1]));
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
+    levels_.push_back(std::move(next));
+  }
+}
+
+const Sha256Digest& MerkleTree::root() const { return levels_.back()[0]; }
+
+std::vector<Sha256Digest> MerkleTree::proof(std::size_t index) const {
+  assert(index < leaf_count_);
+  std::vector<Sha256Digest> path;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    if (sibling < nodes.size()) path.push_back(nodes[sibling]);
+    // else: promoted odd node, no sibling at this level.
+    i /= 2;
+  }
+  return path;
+}
+
+bool MerkleTree::verify(const Sha256Digest& root, std::size_t leaf_count,
+                        std::size_t index, const Sha256Digest& leaf_hash,
+                        std::span<const Sha256Digest> proof) {
+  if (leaf_count == 0 || index >= leaf_count) return false;
+  Sha256Digest node = leaf_hash;
+  std::size_t i = index;
+  std::size_t width = leaf_count;
+  std::size_t used = 0;
+  while (width > 1) {
+    const bool is_promoted_odd = (i == width - 1) && (width % 2 == 1);
+    if (!is_promoted_odd) {
+      if (used >= proof.size()) return false;
+      const Sha256Digest& sibling = proof[used++];
+      node = (i % 2 == 0) ? interior_hash(node, sibling)
+                          : interior_hash(sibling, node);
+    }
+    i /= 2;
+    width = (width + 1) / 2;
+  }
+  return used == proof.size() && node == root;
+}
+
+std::size_t MerkleTree::proof_length(std::size_t leaf_count,
+                                     std::size_t index) {
+  std::size_t entries = 0;
+  std::size_t i = index;
+  std::size_t width = leaf_count;
+  while (width > 1) {
+    const bool is_promoted_odd = (i == width - 1) && (width % 2 == 1);
+    if (!is_promoted_odd) ++entries;
+    i /= 2;
+    width = (width + 1) / 2;
+  }
+  return entries;
+}
+
+}  // namespace fairshare::crypto

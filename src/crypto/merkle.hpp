@@ -1,0 +1,62 @@
+// Merkle hash trees over SHA-256.
+//
+// Addresses the paper's future-work item: "minimizing the amount of
+// meta-data that the user needs to carry around" (Section VI-A).  With the
+// baseline scheme the user carries a 16-byte MD5 digest per coded message;
+// with a Merkle tree the user carries one 32-byte root, and each stored
+// message travels with a log2(n)-length authentication path that anyone
+// can verify against the root.  coding/merkle_auth.hpp layers this under
+// the codec.
+//
+// Construction notes:
+//  * leaf hash     = SHA-256(0x00 || data)
+//  * interior hash = SHA-256(0x01 || left || right)
+//    (domain separation prevents leaf/interior second-preimage splicing);
+//  * an odd node at any level is promoted unchanged to the next level
+//    (no Bitcoin-style duplication, which admits ambiguous trees).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace fairshare::crypto {
+
+/// Hash a leaf's raw content (applies the 0x00 domain tag).
+Sha256Digest merkle_leaf_hash(std::span<const std::uint8_t> data);
+Sha256Digest merkle_leaf_hash(std::span<const std::byte> data);
+
+/// A Merkle tree built once over a fixed list of leaf hashes.
+class MerkleTree {
+ public:
+  /// `leaves` are already leaf-hashed (merkle_leaf_hash).  Must be
+  /// non-empty.
+  explicit MerkleTree(std::vector<Sha256Digest> leaves);
+
+  std::size_t leaf_count() const { return leaf_count_; }
+  const Sha256Digest& root() const;
+
+  /// Authentication path for leaf `index`: the sibling hash at each level
+  /// where the node has one (promoted odd nodes contribute no entry).
+  std::vector<Sha256Digest> proof(std::size_t index) const;
+
+  /// Stateless verification: recompute the root from a leaf hash and its
+  /// path.  `leaf_count` must be the count the tree was built with —
+  /// promotion layout depends on it.
+  static bool verify(const Sha256Digest& root, std::size_t leaf_count,
+                     std::size_t index, const Sha256Digest& leaf_hash,
+                     std::span<const Sha256Digest> proof);
+
+  /// Proof length for a given tree size/index (bytes = 32 * entries).
+  static std::size_t proof_length(std::size_t leaf_count, std::size_t index);
+
+ private:
+  std::size_t leaf_count_;
+  // levels_[0] = leaf hashes, levels_.back() = {root}.
+  std::vector<std::vector<Sha256Digest>> levels_;
+};
+
+}  // namespace fairshare::crypto

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// Used for key derivation: the paper seeds a "cryptographically strong
+// random number generator ... with a cryptographic hash of i, and a secret
+// key known only to the encoding peer" (Section III-A).  We derive the
+// per-message coefficient-stream key as SHA-256(secret || file_id ||
+// message_id) and feed it to the ChaCha20 generator (chacha20.hpp).
+// Also the basis of the HMAC used in session authentication (hmac.hpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fairshare::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher, same usage pattern as Md5.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::byte> data);
+  void update(std::span<const std::uint8_t> data);
+  Sha256Digest finish();
+
+  static Sha256Digest hash(std::span<const std::byte> data);
+  static Sha256Digest hash(std::span<const std::uint8_t> data);
+  static Sha256Digest hash(std::string_view data);
+
+  /// Internal block size in bytes (needed by HMAC).
+  static constexpr std::size_t kBlockSize = 64;
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t length_ = 0;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace fairshare::crypto

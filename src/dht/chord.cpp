@@ -1,0 +1,183 @@
+#include "dht/chord.hpp"
+
+#include <cassert>
+
+#include "crypto/sha256.hpp"
+
+namespace fairshare::dht {
+
+RingId ring_hash(std::span<const std::uint8_t> data) {
+  const crypto::Sha256Digest d = crypto::Sha256::hash(data);
+  RingId id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | d[static_cast<std::size_t>(i)];
+  return id;
+}
+
+RingId ring_hash(std::string_view data) {
+  return ring_hash(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+RingId ring_hash_u64(std::uint64_t value, std::uint64_t salt) {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    buf[8 + i] = static_cast<std::uint8_t>(salt >> (8 * i));
+  }
+  return ring_hash(std::span<const std::uint8_t>(buf, 16));
+}
+
+bool in_interval(RingId x, RingId from, RingId to) {
+  if (from == to) return true;  // (a, a] wraps the whole ring
+  if (from < to) return x > from && x <= to;
+  return x > from || x <= to;  // wrapped interval
+}
+
+// ------------------------------------------------------------- ChordRing
+
+bool ChordRing::join(RingId node) {
+  if (!nodes_.insert(node).second) return false;
+  rebuild();
+  return true;
+}
+
+bool ChordRing::leave(RingId node) {
+  if (nodes_.erase(node) == 0) return false;
+  finger_.erase(node);
+  rebuild();
+  return true;
+}
+
+RingId ChordRing::successor(RingId key) const {
+  assert(!nodes_.empty());
+  const auto it = nodes_.lower_bound(key);
+  return it != nodes_.end() ? *it : *nodes_.begin();
+}
+
+void ChordRing::rebuild() {
+  finger_.clear();
+  for (RingId node : nodes_) {
+    auto& table = finger_[node];
+    table.resize(kFingers);
+    for (std::size_t i = 0; i < kFingers; ++i) {
+      const RingId target = node + (RingId{1} << i);  // wraps mod 2^64
+      table[i] = successor(target);
+    }
+  }
+}
+
+LookupResult ChordRing::lookup(RingId key, RingId start) const {
+  assert(contains(start));
+  LookupResult result;
+  RingId current = start;
+  // Bounded walk (a correct ring terminates in O(log n); the bound guards
+  // against pathological test inputs).
+  for (std::size_t step = 0; step < nodes_.size() + kFingers; ++step) {
+    const auto& table = finger_.at(current);
+    const RingId next_node = table[0];  // immediate successor
+    if (in_interval(key, current, next_node)) {
+      result.owner = next_node;
+      return result;
+    }
+    // Closest preceding finger of `key`.
+    RingId forward = current;
+    for (std::size_t i = kFingers; i-- > 0;) {
+      const RingId f = table[i];
+      if (f != current && in_interval(f, current, key - 1)) {
+        forward = f;
+        break;
+      }
+    }
+    if (forward == current) forward = next_node;  // linear fallback
+    current = forward;
+    ++result.hops;
+  }
+  result.owner = successor(key);  // unreachable on a consistent ring
+  return result;
+}
+
+std::vector<RingId> ChordRing::successor_list(RingId node) const {
+  assert(contains(node));
+  std::vector<RingId> out;
+  auto it = nodes_.find(node);
+  for (std::size_t i = 0; i < kSuccessorListLength && out.size() + 1 < nodes_.size();
+       ++i) {
+    ++it;
+    if (it == nodes_.end()) it = nodes_.begin();
+    if (*it == node) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<RingId> ChordRing::fingers(RingId node) const {
+  const auto it = finger_.find(node);
+  assert(it != finger_.end());
+  return it->second;
+}
+
+// -------------------------------------------------------- ContentLocator
+
+void ContentLocator::announce(std::uint64_t file_id, std::uint64_t peer) {
+  records_[file_id].insert(peer);
+  place(file_id);
+}
+
+void ContentLocator::withdraw(std::uint64_t file_id, std::uint64_t peer) {
+  const auto it = records_.find(file_id);
+  if (it == records_.end()) return;
+  it->second.erase(peer);
+  if (it->second.empty()) {
+    records_.erase(it);
+    for (auto& [node, files] : placement_) files.erase(file_id);
+  }
+}
+
+void ContentLocator::place(std::uint64_t file_id) {
+  if (ring_.size() == 0) return;
+  const RingId primary = ring_.successor(key_for(file_id));
+  placement_[primary].insert(file_id);
+  for (RingId replica : ring_.successor_list(primary))
+    placement_[replica].insert(file_id);
+}
+
+ContentLocator::LocateResult ContentLocator::locate(std::uint64_t file_id,
+                                                    RingId start) const {
+  LocateResult out;
+  if (ring_.size() == 0) return out;
+  const RingId key = key_for(file_id);
+  const LookupResult route = ring_.lookup(key, start);
+  out.hops = route.hops;
+
+  // Read from the responsible node, falling back along its successor list
+  // (each fallback costs one more hop).
+  std::vector<RingId> holders{route.owner};
+  const auto succ = ring_.successor_list(route.owner);
+  holders.insert(holders.end(), succ.begin(), succ.end());
+  for (const RingId node : holders) {
+    const auto it = placement_.find(node);
+    if (it != placement_.end() && it->second.count(file_id) != 0) {
+      const auto rec = records_.find(file_id);
+      if (rec != records_.end())
+        out.peers.assign(rec->second.begin(), rec->second.end());
+      return out;
+    }
+    ++out.hops;
+  }
+  return out;  // no replica found
+}
+
+void ContentLocator::handle_join(RingId node) {
+  if (!ring_.join(node)) return;
+  for (const auto& [file_id, peers] : records_) place(file_id);
+}
+
+void ContentLocator::handle_leave(RingId node) {
+  if (!ring_.leave(node)) return;
+  placement_.erase(node);
+  if (ring_.size() == 0) return;
+  // Re-replicate every record onto the new responsible nodes.
+  for (const auto& [file_id, peers] : records_) place(file_id);
+}
+
+}  // namespace fairshare::dht

@@ -1,0 +1,136 @@
+// Chord-style distributed hash table for content location.
+//
+// The paper assumes an out-of-band mechanism for finding which peers hold
+// a file's coded messages, pointing at Chord/Pastry/Tapestry in its
+// related work (Section II: DHTs "provide the important functionality of
+// locating shared content on P2P networks", as PAST does over Pastry).
+// This module supplies that substrate: a 64-bit identifier ring with
+// finger-table routing, successor lists for fault tolerance, and a
+// ContentLocator mapping file ids to the peers that store their messages.
+//
+// This is a protocol simulation (routing state and hop counting are real;
+// there is no network IO), matching the repository's simulation substrate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace fairshare::dht {
+
+/// Point on the 2^64 identifier ring.
+using RingId = std::uint64_t;
+
+/// SHA-256-based ring hash (first 8 bytes, big-endian).
+RingId ring_hash(std::span<const std::uint8_t> data);
+RingId ring_hash(std::string_view data);
+/// Hash for numeric keys (file ids, peer indices + salt).
+RingId ring_hash_u64(std::uint64_t value, std::uint64_t salt = 0);
+
+/// True when `x` lies in the half-open ring interval (from, to].
+bool in_interval(RingId x, RingId from, RingId to);
+
+/// Result of a lookup: which node owns the key and how many routing hops
+/// the iterative search took.
+struct LookupResult {
+  RingId owner = 0;
+  std::size_t hops = 0;
+};
+
+/// A Chord ring over an explicit node set.
+///
+/// Nodes are identified by their RingId.  Fingers and successor lists are
+/// maintained eagerly on join/leave (the simulation equivalent of Chord's
+/// stabilization having converged), so lookups reflect steady-state
+/// routing: O(log n) hops with high probability.
+class ChordRing {
+ public:
+  static constexpr std::size_t kFingers = 64;
+  static constexpr std::size_t kSuccessorListLength = 4;
+
+  ChordRing() = default;
+
+  /// Add a node; returns false if the id is already present.
+  bool join(RingId node);
+  /// Remove a node; returns false if absent.
+  bool leave(RingId node);
+
+  std::size_t size() const { return nodes_.size(); }
+  bool contains(RingId node) const { return nodes_.count(node) != 0; }
+  std::vector<RingId> nodes() const {
+    return {nodes_.begin(), nodes_.end()};
+  }
+
+  /// The node responsible for `key`: successor(key).  Precondition: ring
+  /// non-empty.
+  RingId successor(RingId key) const;
+
+  /// Iterative finger routing from `start` (must be a member): at each
+  /// step the query moves to the closest preceding finger, exactly as a
+  /// real Chord node would forward it.  Counts hops.
+  LookupResult lookup(RingId key, RingId start) const;
+
+  /// The `kSuccessorListLength` nodes following `node` (for replication
+  /// and fault tolerance); fewer if the ring is small.
+  std::vector<RingId> successor_list(RingId node) const;
+
+  /// Finger table of a node (for tests): finger[i] = successor(node + 2^i).
+  std::vector<RingId> fingers(RingId node) const;
+
+ private:
+  void rebuild();
+
+  std::set<RingId> nodes_;
+  // finger_[node][i] = successor(node + 2^i), rebuilt on churn.
+  std::map<RingId, std::vector<RingId>> finger_;
+};
+
+/// Content-location service on the ring: file id -> set of peers storing
+/// its coded messages.  Records are placed on the responsible node and
+/// replicated to its successor list, so they survive `leave` of the
+/// primary holder.
+class ContentLocator {
+ public:
+  explicit ContentLocator(ChordRing ring) : ring_(std::move(ring)) {}
+
+  ChordRing& ring() { return ring_; }
+  const ChordRing& ring() const { return ring_; }
+
+  /// Register that `peer` stores messages of `file_id`.
+  void announce(std::uint64_t file_id, std::uint64_t peer);
+  /// Remove a peer's announcement (e.g. it pruned its store).
+  void withdraw(std::uint64_t file_id, std::uint64_t peer);
+
+  /// Peers known to store the file, resolved by routing from `start`.
+  /// Also reports the routing hops spent.
+  struct LocateResult {
+    std::vector<std::uint64_t> peers;
+    std::size_t hops = 0;
+  };
+  LocateResult locate(std::uint64_t file_id, RingId start) const;
+
+  /// A ring node departed: drop its replicas, re-replicate from survivors.
+  void handle_leave(RingId node);
+  /// A ring node arrived: join it and hand it the records it is now
+  /// responsible for (stale extra replicas are left in place, as real
+  /// Chord stabilization also tolerates).
+  void handle_join(RingId node);
+
+ private:
+  RingId key_for(std::uint64_t file_id) const {
+    return ring_hash_u64(file_id, /*salt=*/0x66696c65);  // "file"
+  }
+  void place(std::uint64_t file_id);
+
+  ChordRing ring_;
+  // Authoritative records (what a perfect network would know) ...
+  std::map<std::uint64_t, std::set<std::uint64_t>> records_;
+  // ... and their current placement: ring node -> file ids it replicates.
+  std::map<RingId, std::set<std::uint64_t>> placement_;
+};
+
+}  // namespace fairshare::dht

@@ -1,0 +1,127 @@
+// Finite-field arithmetic over GF(2^p) for p in {4, 8, 16, 32}.
+//
+// These are the four field sizes evaluated in Tables I and II of the paper
+// ("Fast data access over asymmetric channels using fair and secure
+// bandwidth sharing", ICDCS 2006).  The random linear code of Section III
+// operates on m-element vectors over one of these fields.
+//
+// Implementation strategy (mirrors how NTL, the library used by the paper,
+// amortizes field-operation cost):
+//   * GF(2^4), GF(2^8):  log/exp tables plus a full multiplication table.
+//   * GF(2^16):          log/exp tables (256 KiB + 128 KiB, built lazily).
+//   * GF(2^32):          carry-less shift-xor multiply; bulk row operations
+//                        in row_ops.hpp build per-scalar window tables.
+//
+// All moduli below were verified irreducible with the Rabin test (see
+// polynomial.hpp and tests/gf/polynomial_test.cpp); x is a primitive
+// element for p <= 16, which the log/exp construction relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+
+namespace fairshare::gf {
+
+/// Static description of one binary extension field GF(2^Bits).
+///
+/// `Elem` is the unsigned integer type that holds one field element in its
+/// low `Bits` bits.  `modulus` is the irreducible reduction polynomial with
+/// the implicit x^Bits term included (bit `Bits` set).
+template <unsigned Bits>
+struct FieldTraits;
+
+template <>
+struct FieldTraits<4> {
+  using Elem = std::uint8_t;
+  static constexpr std::uint64_t modulus = 0x13;  // x^4 + x + 1 (primitive)
+};
+
+template <>
+struct FieldTraits<8> {
+  using Elem = std::uint8_t;
+  static constexpr std::uint64_t modulus = 0x11D;  // x^8+x^4+x^3+x^2+1 (primitive)
+};
+
+template <>
+struct FieldTraits<16> {
+  using Elem = std::uint16_t;
+  static constexpr std::uint64_t modulus = 0x1100B;  // x^16+x^12+x^3+x+1 (primitive)
+};
+
+template <>
+struct FieldTraits<32> {
+  using Elem = std::uint32_t;
+  static constexpr std::uint64_t modulus = 0x100400007;  // x^32+x^22+x^2+x+1
+};
+
+namespace detail {
+
+/// Carry-less (polynomial) multiplication of a and b reduced mod `modulus`,
+/// where the operands have degree < `bits`.  Used directly for GF(2^32) and
+/// to build the tables of the smaller fields.
+constexpr std::uint64_t polymul_mod(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t modulus, unsigned bits) {
+  std::uint64_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    b >>= 1;
+    a <<= 1;
+    if ((a >> bits) & 1) a ^= modulus;
+  }
+  return r;
+}
+
+}  // namespace detail
+
+/// Arithmetic in GF(2^Bits).  All functions are static; elements are plain
+/// unsigned integers in [0, 2^Bits).  Addition is xor.  Multiplication and
+/// inversion dispatch to table lookups for Bits <= 16 and to carry-less
+/// arithmetic for Bits == 32.
+template <unsigned Bits>
+class GF {
+ public:
+  using Elem = typename FieldTraits<Bits>::Elem;
+  static constexpr unsigned bits = Bits;
+  static constexpr std::uint64_t modulus = FieldTraits<Bits>::modulus;
+  /// Field size q = 2^Bits.
+  static constexpr std::uint64_t order = std::uint64_t{1} << Bits;
+  /// Multiplicative group order q - 1.
+  static constexpr std::uint64_t group_order = order - 1;
+
+  static constexpr Elem zero() { return 0; }
+  static constexpr Elem one() { return 1; }
+
+  /// Addition (== subtraction) is carry-less: xor.
+  static constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+  static constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+
+  /// Field multiplication.
+  static Elem mul(Elem a, Elem b);
+
+  /// Multiplicative inverse.  Precondition: a != 0.
+  static Elem inv(Elem a);
+
+  /// a / b.  Precondition: b != 0.
+  static Elem div(Elem a, Elem b) { return mul(a, inv(b)); }
+
+  /// a^e by square-and-multiply (e is an ordinary integer exponent).
+  static Elem pow(Elem a, std::uint64_t e);
+
+  /// Discrete log base the primitive element x (Bits <= 16 only).
+  /// Precondition: a != 0.
+  static std::uint32_t log(Elem a)
+    requires(Bits <= 16);
+
+  /// x^e for the primitive element x (Bits <= 16 only).
+  static Elem exp(std::uint32_t e)
+    requires(Bits <= 16);
+};
+
+// The small fields use lazily-built shared tables; see field.cpp.
+extern template class GF<4>;
+extern template class GF<8>;
+extern template class GF<16>;
+extern template class GF<32>;
+
+}  // namespace fairshare::gf

@@ -1,0 +1,61 @@
+// Runtime identification of the four supported fields, used by the codec
+// and the Table I / Table II experiment sweeps to select q = 2^p without
+// templating whole call chains.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fairshare::gf {
+
+/// The four field sizes evaluated in the paper (Tables I and II).
+enum class FieldId : std::uint8_t {
+  gf2_4 = 0,   ///< GF(2^4),  4 bits/symbol, 2 symbols packed per byte
+  gf2_8 = 1,   ///< GF(2^8),  1 byte/symbol
+  gf2_16 = 2,  ///< GF(2^16), 2 bytes/symbol (little endian)
+  gf2_32 = 3,  ///< GF(2^32), 4 bytes/symbol (little endian)
+};
+
+inline constexpr FieldId kAllFields[] = {FieldId::gf2_4, FieldId::gf2_8,
+                                         FieldId::gf2_16, FieldId::gf2_32};
+
+/// Bits per symbol, p.
+constexpr unsigned field_bits(FieldId id) {
+  switch (id) {
+    case FieldId::gf2_4: return 4;
+    case FieldId::gf2_8: return 8;
+    case FieldId::gf2_16: return 16;
+    case FieldId::gf2_32: return 32;
+  }
+  return 0;  // unreachable
+}
+
+/// Field size q = 2^p.
+constexpr std::uint64_t field_order(FieldId id) {
+  return std::uint64_t{1} << field_bits(id);
+}
+
+/// Human-readable name, e.g. "GF(2^16)".
+constexpr std::string_view field_name(FieldId id) {
+  switch (id) {
+    case FieldId::gf2_4: return "GF(2^4)";
+    case FieldId::gf2_8: return "GF(2^8)";
+    case FieldId::gf2_16: return "GF(2^16)";
+    case FieldId::gf2_32: return "GF(2^32)";
+  }
+  return "GF(?)";
+}
+
+/// Inverse of field_bits.  Returns true and sets `out` when `bits` is one
+/// of 4, 8, 16, 32.
+constexpr bool field_from_bits(unsigned bits, FieldId& out) {
+  switch (bits) {
+    case 4: out = FieldId::gf2_4; return true;
+    case 8: out = FieldId::gf2_8; return true;
+    case 16: out = FieldId::gf2_16; return true;
+    case 32: out = FieldId::gf2_32; return true;
+    default: return false;
+  }
+}
+
+}  // namespace fairshare::gf

@@ -1,0 +1,88 @@
+#include "gf/polynomial.hpp"
+
+#include <bit>
+#include <cassert>
+#include <vector>
+
+namespace fairshare::gf {
+
+int poly_degree(std::uint64_t p) {
+  assert(p != 0);
+  return 63 - std::countl_zero(p);
+}
+
+std::uint64_t poly_mul_mod(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t modulus, unsigned bits) {
+  std::uint64_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    b >>= 1;
+    a <<= 1;
+    if ((a >> bits) & 1) a ^= modulus;
+  }
+  return r;
+}
+
+std::uint64_t poly_frobenius(std::uint64_t v, std::uint64_t modulus,
+                             unsigned bits, unsigned e) {
+  for (unsigned i = 0; i < e; ++i) v = poly_mul_mod(v, v, modulus, bits);
+  return v;
+}
+
+namespace {
+
+std::vector<unsigned> prime_divisors(unsigned n) {
+  std::vector<unsigned> divs;
+  for (unsigned d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      divs.push_back(d);
+      while (n % d == 0) n /= d;
+    }
+  }
+  if (n > 1) divs.push_back(n);
+  return divs;
+}
+
+std::vector<std::uint64_t> prime_divisors_u64(std::uint64_t n) {
+  std::vector<std::uint64_t> divs;
+  for (std::uint64_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      divs.push_back(d);
+      while (n % d == 0) n /= d;
+    }
+  }
+  if (n > 1) divs.push_back(n);
+  return divs;
+}
+
+}  // namespace
+
+bool poly_is_irreducible(std::uint64_t modulus, unsigned bits) {
+  assert(bits >= 2 && bits <= 63);
+  assert((modulus >> bits) == 1);
+  const std::uint64_t x = 2;
+  if (poly_frobenius(x, modulus, bits, bits) != x) return false;
+  for (unsigned d : prime_divisors(bits)) {
+    if (poly_frobenius(x, modulus, bits, bits / d) == x) return false;
+  }
+  return true;
+}
+
+bool poly_is_primitive(std::uint64_t modulus, unsigned bits) {
+  assert(bits <= 32);
+  if (!poly_is_irreducible(modulus, bits)) return false;
+  const std::uint64_t group = (std::uint64_t{1} << bits) - 1;
+  for (std::uint64_t d : prime_divisors_u64(group)) {
+    // x^(group/d) == 1 would mean ord(x) < group.
+    std::uint64_t r = 1, base = 2, e = group / d;
+    while (e != 0) {
+      if (e & 1) r = poly_mul_mod(r, base, modulus, bits);
+      base = poly_mul_mod(base, base, modulus, bits);
+      e >>= 1;
+    }
+    if (r == 1) return false;
+  }
+  return true;
+}
+
+}  // namespace fairshare::gf

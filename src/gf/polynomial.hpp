@@ -1,0 +1,37 @@
+// Utilities for polynomials over GF(2) represented as bit masks, used to
+// validate the reduction moduli of field.hpp and by tests/benches that
+// explore alternative field constructions.
+#pragma once
+
+#include <cstdint>
+
+namespace fairshare::gf {
+
+/// Degree of the GF(2) polynomial `p` (index of its highest set bit).
+/// Precondition: p != 0.
+int poly_degree(std::uint64_t p);
+
+/// Product of GF(2) polynomials a*b reduced modulo `modulus`, where
+/// `modulus` has degree `bits` and deg(a), deg(b) < bits.
+std::uint64_t poly_mul_mod(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t modulus, unsigned bits);
+
+/// x^(2^e) mod modulus applied to `v` (e-fold Frobenius), i.e. squares `v`
+/// e times in GF(2)[x]/(modulus).
+std::uint64_t poly_frobenius(std::uint64_t v, std::uint64_t modulus,
+                             unsigned bits, unsigned e);
+
+/// Rabin irreducibility test for a degree-`bits` polynomial over GF(2).
+/// `bits` must be in [2, 63] and `modulus` must have bit `bits` set.
+///
+/// The test checks x^(2^bits) == x (mod modulus) and, for every prime
+/// divisor d of `bits`, that x^(2^(bits/d)) != x.  This is exact (not
+/// probabilistic).
+bool poly_is_irreducible(std::uint64_t modulus, unsigned bits);
+
+/// True when x generates the multiplicative group of
+/// GF(2)[x]/(modulus), i.e. the polynomial is primitive.  Requires
+/// `modulus` irreducible of degree `bits` with bits <= 32.
+bool poly_is_primitive(std::uint64_t modulus, unsigned bits);
+
+}  // namespace fairshare::gf

@@ -1,0 +1,240 @@
+#include "gf/row_ops.hpp"
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "gf/field.hpp"
+
+namespace fairshare::gf {
+
+namespace {
+
+// ------------------------------------------------------- GF(2^4), packed
+
+// P[c][b] multiplies both nibbles of byte b by the scalar c.
+struct Gf4PackedTable {
+  std::array<std::array<std::uint8_t, 256>, 16> t{};
+  Gf4PackedTable() {
+    for (unsigned c = 0; c < 16; ++c) {
+      for (unsigned b = 0; b < 256; ++b) {
+        const auto lo = GF<4>::mul(static_cast<std::uint8_t>(c),
+                                   static_cast<std::uint8_t>(b & 0xF));
+        const auto hi = GF<4>::mul(static_cast<std::uint8_t>(c),
+                                   static_cast<std::uint8_t>(b >> 4));
+        t[c][b] = static_cast<std::uint8_t>(lo | (hi << 4));
+      }
+    }
+  }
+};
+
+const Gf4PackedTable& gf4_table() {
+  static const Gf4PackedTable tab;
+  return tab;
+}
+
+std::size_t gf4_row_bytes(std::size_t n) { return (n + 1) / 2; }
+
+std::uint64_t gf4_get(const std::byte* row, std::size_t i) {
+  const auto b = std::to_integer<std::uint8_t>(row[i / 2]);
+  return (i % 2 == 0) ? (b & 0xF) : (b >> 4);
+}
+
+void gf4_set(std::byte* row, std::size_t i, std::uint64_t v) {
+  auto b = std::to_integer<std::uint8_t>(row[i / 2]);
+  if (i % 2 == 0)
+    b = static_cast<std::uint8_t>((b & 0xF0) | (v & 0xF));
+  else
+    b = static_cast<std::uint8_t>((b & 0x0F) | ((v & 0xF) << 4));
+  row[i / 2] = std::byte{b};
+}
+
+void gf4_axpy(std::byte* dst, const std::byte* src, std::uint64_t c,
+              std::size_t n) {
+  if (c == 0) return;
+  const auto& tab = gf4_table().t[c & 0xF];
+  const std::size_t nb = gf4_row_bytes(n);
+  for (std::size_t i = 0; i < nb; ++i)
+    dst[i] ^= std::byte{tab[std::to_integer<std::uint8_t>(src[i])]};
+}
+
+void gf4_scale(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  const auto& tab = gf4_table().t[c & 0xF];
+  const std::size_t nb = gf4_row_bytes(n);
+  for (std::size_t i = 0; i < nb; ++i)
+    row[i] = std::byte{tab[std::to_integer<std::uint8_t>(row[i])]};
+}
+
+// ---------------------------------------------------------------- GF(2^8)
+
+// Full 256x256 product table; row c is the premultiplied lookup for axpy.
+struct Gf8Table {
+  std::vector<std::uint8_t> t;
+  Gf8Table() : t(256 * 256) {
+    for (unsigned c = 0; c < 256; ++c)
+      for (unsigned b = 0; b < 256; ++b)
+        t[c * 256 + b] = GF<8>::mul(static_cast<std::uint8_t>(c),
+                                    static_cast<std::uint8_t>(b));
+  }
+};
+
+const Gf8Table& gf8_table() {
+  static const Gf8Table tab;
+  return tab;
+}
+
+std::size_t gf8_row_bytes(std::size_t n) { return n; }
+
+std::uint64_t gf8_get(const std::byte* row, std::size_t i) {
+  return std::to_integer<std::uint8_t>(row[i]);
+}
+
+void gf8_set(std::byte* row, std::size_t i, std::uint64_t v) {
+  row[i] = std::byte{static_cast<std::uint8_t>(v)};
+}
+
+void gf8_axpy(std::byte* dst, const std::byte* src, std::uint64_t c,
+              std::size_t n) {
+  if (c == 0) return;
+  const std::uint8_t* tab = gf8_table().t.data() + (c & 0xFF) * 256;
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] ^= std::byte{tab[std::to_integer<std::uint8_t>(src[i])]};
+}
+
+void gf8_scale(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  const std::uint8_t* tab = gf8_table().t.data() + (c & 0xFF) * 256;
+  for (std::size_t i = 0; i < n; ++i)
+    row[i] = std::byte{tab[std::to_integer<std::uint8_t>(row[i])]};
+}
+
+// --------------------------------------------- GF(2^16) / GF(2^32) window
+
+// Per-scalar window tables: W[b][v] = c * (v << 8b).  Built in O(256 * B)
+// xors per scalar via the gray-code recurrence W[v] = W[v & (v-1)] ^ cx[..],
+// then each symbol product is B lookups + B-1 xors.
+template <unsigned Bits>
+struct WindowTables {
+  using F = GF<Bits>;
+  using Elem = typename F::Elem;
+  static constexpr unsigned kBytes = Bits / 8;
+  std::array<std::array<Elem, 256>, kBytes> w;
+
+  explicit WindowTables(Elem c) {
+    // cx[j] = c * x^j for j in [0, Bits).
+    std::array<std::uint64_t, Bits> cx;
+    std::uint64_t v = c;
+    for (unsigned j = 0; j < Bits; ++j) {
+      cx[j] = v;
+      v <<= 1;
+      if ((v >> Bits) & 1) v ^= F::modulus;
+    }
+    for (unsigned b = 0; b < kBytes; ++b) {
+      w[b][0] = 0;
+      for (unsigned t = 1; t < 256; ++t) {
+        const unsigned low = t & (t - 1);
+        const unsigned j = static_cast<unsigned>(std::countr_zero(t));
+        w[b][t] = static_cast<Elem>(w[b][low] ^ cx[8 * b + j]);
+      }
+    }
+  }
+
+  Elem mul(Elem x) const {
+    Elem r = w[0][x & 0xFF];
+    for (unsigned b = 1; b < kBytes; ++b)
+      r = static_cast<Elem>(r ^ w[b][(x >> (8 * b)) & 0xFF]);
+    return r;
+  }
+};
+
+template <unsigned Bits>
+std::size_t wide_row_bytes(std::size_t n) {
+  return n * (Bits / 8);
+}
+
+template <unsigned Bits>
+std::uint64_t wide_get(const std::byte* row, std::size_t i) {
+  typename GF<Bits>::Elem v;
+  std::memcpy(&v, row + i * sizeof(v), sizeof(v));
+  return v;
+}
+
+template <unsigned Bits>
+void wide_set(std::byte* row, std::size_t i, std::uint64_t v) {
+  const auto e = static_cast<typename GF<Bits>::Elem>(v);
+  std::memcpy(row + i * sizeof(e), &e, sizeof(e));
+}
+
+template <unsigned Bits>
+void wide_axpy(std::byte* dst, const std::byte* src, std::uint64_t c,
+               std::size_t n) {
+  using Elem = typename GF<Bits>::Elem;
+  if (c == 0) return;
+  if (c == 1) {
+    // Pure xor; no table needed.
+    for (std::size_t i = 0; i < n * sizeof(Elem); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const WindowTables<Bits> tab(static_cast<Elem>(c));
+  for (std::size_t i = 0; i < n; ++i) {
+    Elem x, y;
+    std::memcpy(&x, src + i * sizeof(Elem), sizeof(Elem));
+    std::memcpy(&y, dst + i * sizeof(Elem), sizeof(Elem));
+    y = static_cast<Elem>(y ^ tab.mul(x));
+    std::memcpy(dst + i * sizeof(Elem), &y, sizeof(Elem));
+  }
+}
+
+template <unsigned Bits>
+void wide_scale(std::byte* row, std::uint64_t c, std::size_t n) {
+  using Elem = typename GF<Bits>::Elem;
+  if (c == 1) return;
+  const WindowTables<Bits> tab(static_cast<Elem>(c));
+  for (std::size_t i = 0; i < n; ++i) {
+    Elem x;
+    std::memcpy(&x, row + i * sizeof(Elem), sizeof(Elem));
+    x = tab.mul(x);
+    std::memcpy(row + i * sizeof(Elem), &x, sizeof(Elem));
+  }
+}
+
+// ------------------------------------------------------ scalar adapters
+
+template <unsigned Bits>
+std::uint64_t scalar_mul(std::uint64_t a, std::uint64_t b) {
+  return GF<Bits>::mul(static_cast<typename GF<Bits>::Elem>(a),
+                       static_cast<typename GF<Bits>::Elem>(b));
+}
+
+template <unsigned Bits>
+std::uint64_t scalar_inv(std::uint64_t a) {
+  return GF<Bits>::inv(static_cast<typename GF<Bits>::Elem>(a));
+}
+
+template <unsigned Bits>
+std::uint64_t scalar_pow(std::uint64_t a, std::uint64_t e) {
+  return GF<Bits>::pow(static_cast<typename GF<Bits>::Elem>(a), e);
+}
+
+}  // namespace
+
+const FieldView& field_view(FieldId id) {
+  static const FieldView views[4] = {
+      {FieldId::gf2_4, 4, 16, &scalar_mul<4>, &scalar_inv<4>, &scalar_pow<4>,
+       &gf4_row_bytes, &gf4_get, &gf4_set, &gf4_axpy, &gf4_scale},
+      {FieldId::gf2_8, 8, 256, &scalar_mul<8>, &scalar_inv<8>, &scalar_pow<8>,
+       &gf8_row_bytes, &gf8_get, &gf8_set, &gf8_axpy, &gf8_scale},
+      {FieldId::gf2_16, 16, 65536, &scalar_mul<16>, &scalar_inv<16>,
+       &scalar_pow<16>, &wide_row_bytes<16>, &wide_get<16>, &wide_set<16>,
+       &wide_axpy<16>, &wide_scale<16>},
+      {FieldId::gf2_32, 32, std::uint64_t{1} << 32, &scalar_mul<32>,
+       &scalar_inv<32>, &scalar_pow<32>, &wide_row_bytes<32>, &wide_get<32>,
+       &wide_set<32>, &wide_axpy<32>, &wide_scale<32>},
+  };
+  return views[static_cast<std::size_t>(id)];
+}
+
+}  // namespace fairshare::gf

@@ -1,0 +1,64 @@
+// Bulk operations on rows of field symbols, plus a runtime-dispatched view
+// of a field's scalar and row operations.
+//
+// A "row" is a contiguous buffer of n symbols in the field's packed wire
+// representation:
+//   GF(2^4)  : two symbols per byte, low nibble = even index
+//   GF(2^8)  : one byte per symbol
+//   GF(2^16) : two bytes per symbol, little endian
+//   GF(2^32) : four bytes per symbol, little endian
+//
+// This packed form is exactly what the coded messages of Section III carry
+// on the wire, so the decoder's Gaussian elimination runs directly on
+// received payloads with no unpacking pass.
+//
+// Row operations are where virtually all decode time is spent (the paper's
+// Table II cost O(m k^2) dominates the O(k^3) coefficient inversion), so:
+//   * GF(2^4)/GF(2^8) use premultiplied byte tables (one lookup+xor/byte);
+//   * GF(2^16)/GF(2^32) build per-scalar window tables (2 resp. 4 tables of
+//     256 entries, built once per (scalar, row) pair and amortized over the
+//     m >= 8192 symbols of a message).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/field_id.hpp"
+
+namespace fairshare::gf {
+
+/// Runtime-dispatched field interface.  Obtain with `field_view(id)`;
+/// the returned reference has static storage duration.
+///
+/// Scalar values are passed as uint64_t holding an element in the low
+/// `bits` bits.  Row buffers are raw bytes in the packed representation
+/// described in the header comment.
+struct FieldView {
+  FieldId id;
+  unsigned bits;        ///< p: bits per symbol
+  std::uint64_t order;  ///< q = 2^p
+
+  std::uint64_t (*mul)(std::uint64_t a, std::uint64_t b);
+  std::uint64_t (*inv)(std::uint64_t a);  ///< precondition: a != 0
+  std::uint64_t (*pow)(std::uint64_t a, std::uint64_t e);
+
+  /// Bytes needed to store a row of n symbols.
+  std::size_t (*row_bytes)(std::size_t n);
+  /// Read symbol i of a packed row.
+  std::uint64_t (*get)(const std::byte* row, std::size_t i);
+  /// Write symbol i of a packed row.
+  void (*set)(std::byte* row, std::size_t i, std::uint64_t v);
+
+  /// dst ^= c * src over n symbols (the Gaussian-elimination kernel).
+  /// dst and src must not overlap unless dst == src.
+  void (*axpy)(std::byte* dst, const std::byte* src, std::uint64_t c,
+               std::size_t n);
+  /// row *= c over n symbols.
+  void (*scale)(std::byte* row, std::uint64_t c, std::size_t n);
+};
+
+/// The shared FieldView for `id`.  Thread-safe; tables are built lazily on
+/// first use.
+const FieldView& field_view(FieldId id);
+
+}  // namespace fairshare::gf

@@ -1,0 +1,71 @@
+// Dense matrices over GF(2^p) with runtime field selection.
+//
+// Rows are stored in the packed wire representation of gf/row_ops.hpp, so
+// elimination kernels run on exactly the bytes that coded messages carry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gf/row_ops.hpp"
+
+namespace fairshare::linalg {
+
+/// A rows x cols matrix of GF(2^p) symbols.
+///
+/// Storage is one contiguous buffer; each row occupies
+/// `field_view(f).row_bytes(cols)` bytes.  Elements are addressed through
+/// get/set (packed nibble handling for GF(2^4) is hidden here).
+class Matrix {
+ public:
+  /// Zero matrix of the given shape.
+  Matrix(gf::FieldId field, std::size_t rows, std::size_t cols);
+
+  /// n x n identity.
+  static Matrix identity(gf::FieldId field, std::size_t n);
+
+  gf::FieldId field() const { return field_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Bytes per packed row.
+  std::size_t row_bytes() const { return row_bytes_; }
+
+  std::uint64_t at(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, std::uint64_t v);
+
+  std::byte* row(std::size_t r) { return data_.data() + r * row_bytes_; }
+  const std::byte* row(std::size_t r) const {
+    return data_.data() + r * row_bytes_;
+  }
+
+  /// this * other (shapes must agree).  Intended for tests and small
+  /// coefficient matrices; O(rows * cols * other.cols) scalar multiplies.
+  Matrix mul(const Matrix& other) const;
+
+  /// Swap two rows in O(row_bytes).
+  void swap_rows(std::size_t a, std::size_t b);
+
+  bool operator==(const Matrix& other) const;
+
+ private:
+  gf::FieldId field_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t row_bytes_;
+  std::vector<std::byte> data_;
+};
+
+/// Rank by Gaussian elimination on a copy.
+std::size_t rank(Matrix m);
+
+/// Inverse of a square matrix, or nullopt if singular.
+std::optional<Matrix> invert(const Matrix& m);
+
+/// Solve B * X = Y for X, where B is k x k and Y is k x m.  Returns nullopt
+/// when B is singular.  This is the batch form of the paper's decoding step
+/// (Section III-B): Y holds k received payload rows, X the file chunks.
+std::optional<Matrix> solve(const Matrix& b, const Matrix& y);
+
+}  // namespace fairshare::linalg

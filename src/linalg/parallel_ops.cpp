@@ -1,0 +1,55 @@
+#include "linalg/parallel_ops.hpp"
+
+#include <algorithm>
+
+namespace fairshare::linalg {
+
+namespace {
+
+// Below this many symbols the fan-out overhead outweighs the work.
+constexpr std::size_t kSerialThreshold = 4096;
+
+// Even segment length covering n symbols in `jobs` pieces.
+std::size_t segment_symbols(std::size_t n, std::size_t jobs) {
+  const std::size_t raw = (n + jobs - 1) / jobs;
+  return (raw + 1) & ~std::size_t{1};
+}
+
+}  // namespace
+
+void parallel_axpy(const gf::FieldView& f, std::byte* dst,
+                   const std::byte* src, std::uint64_t c, std::size_t n,
+                   util::ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || n < kSerialThreshold) {
+    f.axpy(dst, src, c, n);
+    return;
+  }
+  const std::size_t jobs = pool->size();
+  const std::size_t seg = segment_symbols(n, jobs);
+  pool->parallel_for(jobs, [&](std::size_t j) {
+    const std::size_t begin = j * seg;
+    if (begin >= n) return;
+    const std::size_t len = std::min(seg, n - begin);
+    const std::size_t off = f.row_bytes(begin);  // begin is even: exact
+    f.axpy(dst + off, src + off, c, len);
+  });
+}
+
+void parallel_scale(const gf::FieldView& f, std::byte* row, std::uint64_t c,
+                    std::size_t n, util::ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || n < kSerialThreshold) {
+    f.scale(row, c, n);
+    return;
+  }
+  const std::size_t jobs = pool->size();
+  const std::size_t seg = segment_symbols(n, jobs);
+  pool->parallel_for(jobs, [&](std::size_t j) {
+    const std::size_t begin = j * seg;
+    if (begin >= n) return;
+    const std::size_t len = std::min(seg, n - begin);
+    const std::size_t off = f.row_bytes(begin);
+    f.scale(row + off, c, len);
+  });
+}
+
+}  // namespace fairshare::linalg

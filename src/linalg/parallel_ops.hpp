@@ -1,0 +1,26 @@
+// Data-parallel row kernels: the same axpy/scale as gf::FieldView, split
+// across a thread pool by symbol ranges.  Used by the progressive solver
+// for large payload rows (Table II's dominant O(m k^2) work parallelizes
+// perfectly because symbol positions are independent).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/row_ops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairshare::linalg {
+
+/// dst ^= c * src over n symbols, fanned out over `pool` (nullptr or small
+/// n falls back to the serial kernel).  Segment boundaries are kept even
+/// so GF(2^4) nibble packing stays byte-aligned.
+void parallel_axpy(const gf::FieldView& f, std::byte* dst,
+                   const std::byte* src, std::uint64_t c, std::size_t n,
+                   util::ThreadPool* pool);
+
+/// row *= c over n symbols, fanned out like parallel_axpy.
+void parallel_scale(const gf::FieldView& f, std::byte* row, std::uint64_t c,
+                    std::size_t n, util::ThreadPool* pool);
+
+}  // namespace fairshare::linalg

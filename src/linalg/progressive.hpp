@@ -1,0 +1,106 @@
+// Incremental (online) Gaussian elimination.
+//
+// Two users in the system need elimination one row at a time:
+//  * the encoder screens freshly generated coefficient rows for linear
+//    independence before accepting them (Section III-A: "the encoding peer
+//    can guarantee that exactly k messages will suffice to decode a file by
+//    simply testing generated rows for linear independence");
+//  * the decoder folds messages in as they arrive from multiple peers and
+//    stops (sends the paper's "stop transmission") the moment rank k is
+//    reached (Section III-B).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/row_ops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairshare::linalg {
+
+/// Tracks the rank of a growing set of length-`cols` coefficient rows.
+///
+/// add_row() runs one step of reduced row-echelon maintenance; it is
+/// O(rank * cols) field operations per call.
+class IncrementalRank {
+ public:
+  IncrementalRank(gf::FieldId field, std::size_t cols);
+
+  /// Reduce `coeffs` (one symbol per entry, length cols) against the
+  /// current basis.  Returns true and absorbs the row if it is linearly
+  /// independent of everything added so far; returns false (row discarded)
+  /// otherwise.
+  bool add_row(std::span<const std::uint64_t> coeffs);
+
+  std::size_t rank() const { return pivots_.size(); }
+  std::size_t cols() const { return cols_; }
+  bool full() const { return rank() == cols_; }
+
+ private:
+  gf::FieldId field_;
+  std::size_t cols_;
+  std::size_t row_bytes_;
+  std::vector<std::byte> rows_;        // packed basis rows, rref
+  std::vector<std::size_t> pivots_;    // pivots_[i] = pivot column of row i
+  std::vector<std::byte> scratch_;     // one packed row
+};
+
+/// Online solver for B * X = Y fed one (coefficient row, payload row) pair
+/// at a time.  Rows are kept in reduced row-echelon form over the
+/// concatenated [coeffs | payload] buffer, so when rank reaches k the
+/// payload parts *are* the recovered chunks — no separate back-substitution
+/// pass.  This is the decoder core measured in Table II.
+class ProgressiveSolver {
+ public:
+  /// k: number of unknowns (chunks); payload_symbols: m.
+  ProgressiveSolver(gf::FieldId field, std::size_t k,
+                    std::size_t payload_symbols);
+
+  /// Fold in one received row.  `coeffs` is the packed coefficient row
+  /// (k symbols); `payload` the packed message payload (m symbols).
+  /// Returns true when the row was innovative (rank increased).
+  bool add_row(const std::byte* coeffs, const std::byte* payload);
+
+  /// Convenience overload taking unpacked coefficients.
+  bool add_row(std::span<const std::uint64_t> coeffs,
+               const std::byte* payload);
+
+  std::size_t rank() const { return filled_; }
+  bool complete() const { return filled_ == k_; }
+
+  /// After complete(): packed payload of recovered chunk `i` (m symbols).
+  /// The pointer is invalidated by further add_row calls.
+  const std::byte* chunk(std::size_t i) const;
+
+  std::size_t k() const { return k_; }
+  std::size_t payload_symbols() const { return m_; }
+
+  /// Fan payload row operations out over `pool` (nullptr = serial, the
+  /// default).  The pool must outlive the solver.  Results are identical
+  /// either way; only wall-clock changes (see bench/ext_parallel_decode).
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+ private:
+  std::byte* slot_row(std::size_t pivot) {
+    return rows_.data() + pivot * row_bytes_;
+  }
+  const std::byte* slot_row(std::size_t pivot) const {
+    return rows_.data() + pivot * row_bytes_;
+  }
+
+  gf::FieldId field_;
+  std::size_t k_;
+  std::size_t m_;
+  std::size_t total_;      // k + m symbols per stored row
+  std::size_t row_bytes_;  // bytes of one packed [coeffs|payload] row
+  std::size_t payload_offset_;  // byte offset of payload within a row
+  std::size_t filled_ = 0;
+  std::vector<std::byte> rows_;     // k slots indexed by pivot column
+  std::vector<bool> used_;          // slot occupancy
+  std::vector<std::byte> scratch_;  // one packed row
+  util::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace fairshare::linalg

@@ -1,0 +1,139 @@
+#include "net/download_client.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "crypto/auth.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+#include "net/socket.hpp"
+#include "p2p/wire.hpp"
+
+namespace fairshare::net {
+
+namespace {
+
+constexpr std::size_t kMaxServerFrame = 64 << 20;  // generous payload bound
+
+crypto::ChaCha20 seeded_rng(std::uint64_t seed, std::uint64_t salt) {
+  crypto::Sha256 h;
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+    buf[8 + i] = static_cast<std::uint8_t>(salt >> (8 * i));
+  }
+  h.update(std::span<const std::uint8_t>(buf, 16));
+  const crypto::Sha256Digest key = h.finish();
+  const std::array<std::uint8_t, crypto::ChaCha20::kNonceSize> nonce{};
+  return crypto::ChaCha20(std::span<const std::uint8_t, 32>(key), nonce);
+}
+
+}  // namespace
+
+DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
+                             const coding::SecretKey& secret,
+                             const coding::FileInfo& info,
+                             const DownloadOptions& options) {
+  DownloadReport report;
+  coding::FileDecoder decoder(secret, info);
+  std::mutex decoder_mutex;
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> failed{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto session = [&](const PeerEndpoint& peer, std::uint64_t salt) {
+    auto socket = Socket::connect_to(peer.host, peer.port);
+    if (!socket) {
+      ++failed;
+      return;
+    }
+    // Figure 4(b) transmission "1": mutual authentication.
+    if (options.user_key != nullptr) {
+      crypto::ChaCha20 rng = seeded_rng(options.rng_seed, salt);
+      crypto::AuthInitiator initiator(options.user_id, *options.user_key,
+                                      peer.identity, rng);
+      if (!send_frame(*socket, p2p::wire::encode(initiator.hello()))) {
+        ++failed;
+        return;
+      }
+      const auto challenge_frame = recv_frame(*socket, 1 << 16);
+      if (!challenge_frame) {
+        ++failed;
+        return;
+      }
+      const auto challenge =
+          p2p::wire::decode_auth_challenge(*challenge_frame);
+      if (!challenge) {
+        ++failed;
+        return;
+      }
+      const auto response = initiator.on_challenge(*challenge);
+      if (!response) {  // peer failed to prove its identity
+        ++failed;
+        return;
+      }
+      if (!send_frame(*socket, p2p::wire::encode(*response))) {
+        ++failed;
+        return;
+      }
+    }
+
+    // Transmission "2"/"3": request the file.
+    p2p::wire::FileRequest request;
+    request.user_id = options.user_id;
+    request.file_id = info.file_id;
+    request.max_rate_kbps = options.max_rate_kbps;
+    if (!send_frame(*socket, p2p::wire::encode(request))) {
+      ++failed;
+      return;
+    }
+
+    // Transmission "4": consume coded messages until done.
+    while (!done.load()) {
+      const auto frame = recv_frame(*socket, kMaxServerFrame);
+      if (!frame) return;  // peer exhausted its store / closed
+      const auto msg = p2p::wire::decode_coded_message(*frame);
+      if (!msg) {
+        ++rejected;
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(decoder_mutex);
+      if (decoder.complete()) break;
+      const auto result = decoder.add(*msg);
+      if (result == coding::AddResult::bad_digest) ++rejected;
+      if (decoder.complete()) {
+        done = true;
+        break;
+      }
+    }
+    // Transmission "5": stop.
+    p2p::wire::StopTransmission stop;
+    stop.user_id = options.user_id;
+    stop.file_id = info.file_id;
+    (void)send_frame(*socket, p2p::wire::encode(stop));
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i)
+    threads.emplace_back(session, peers[i], static_cast<std::uint64_t>(i + 1));
+  for (auto& t : threads) t.join();
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report.messages_rejected = rejected;
+  report.sessions_failed = failed;
+  if (decoder.complete()) {
+    report.success = true;
+    report.data = decoder.reconstruct();
+    report.messages_accepted = decoder.accepted();
+  }
+  return report;
+}
+
+}  // namespace fairshare::net

@@ -1,0 +1,48 @@
+// The user's download client: opens one authenticated TCP session per
+// peer, pulls coded messages from all of them in parallel, feeds a shared
+// decoder, and sends stop the instant rank k is reached (Section III-B
+// over real sockets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coding/decoder.hpp"
+#include "crypto/rsa.hpp"
+
+namespace fairshare::net {
+
+/// One peer the client may download from.
+struct PeerEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t peer_id = 0;
+  /// The peer's registered public key (empty modulus => expect no auth).
+  crypto::RsaPublicKey identity;
+};
+
+struct DownloadReport {
+  bool success = false;
+  std::vector<std::byte> data;
+  std::size_t messages_accepted = 0;
+  std::size_t messages_rejected = 0;  ///< bad digest / malformed frames
+  std::size_t sessions_failed = 0;    ///< connect or handshake failures
+  double seconds = 0.0;
+};
+
+struct DownloadOptions {
+  std::uint64_t user_id = 0;
+  const crypto::RsaKeyPair* user_key = nullptr;  ///< null => no auth
+  double max_rate_kbps = 0.0;  ///< advertised per-peer cap (0 = none)
+  std::uint64_t rng_seed = 1;  ///< handshake nonce/session-key stream
+};
+
+/// Download `info`'s file from `peers` in parallel and decode it with
+/// `secret`.  Blocks until the decode completes or every session ends.
+DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
+                             const coding::SecretKey& secret,
+                             const coding::FileInfo& info,
+                             const DownloadOptions& options);
+
+}  // namespace fairshare::net

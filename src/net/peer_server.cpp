@@ -1,0 +1,133 @@
+#include "net/peer_server.hpp"
+
+#include <chrono>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+#include "p2p/wire.hpp"
+
+namespace fairshare::net {
+
+namespace {
+
+// Largest frame a server will accept from a client (handshake frames and
+// requests are small; coded messages flow the other way).
+constexpr std::size_t kMaxClientFrame = 1 << 16;
+
+crypto::ChaCha20 seeded_rng(std::uint64_t seed, std::uint64_t salt) {
+  crypto::Sha256 h;
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+    buf[8 + i] = static_cast<std::uint8_t>(salt >> (8 * i));
+  }
+  h.update(std::span<const std::uint8_t>(buf, 16));
+  const crypto::Sha256Digest key = h.finish();
+  const std::array<std::uint8_t, crypto::ChaCha20::kNonceSize> nonce{};
+  return crypto::ChaCha20(std::span<const std::uint8_t, 32>(key), nonce);
+}
+
+}  // namespace
+
+PeerServer::PeerServer(Config config, p2p::MessageStore store,
+                       std::optional<crypto::RsaKeyPair> identity)
+    : config_(config), store_(std::move(store)), identity_(std::move(identity)) {}
+
+PeerServer::~PeerServer() { stop(); }
+
+void PeerServer::register_user(std::uint64_t user_id,
+                               crypto::RsaPublicKey key) {
+  users_.emplace(user_id, std::move(key));
+}
+
+bool PeerServer::start() {
+  auto listener = Listener::bind_local(config_.port);
+  if (!listener) return false;
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  running_ = true;
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void PeerServer::stop() {
+  running_ = false;
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+}
+
+void PeerServer::accept_loop() {
+  std::uint64_t session_salt = 0;
+  while (running_) {
+    auto client = listener_.accept(/*timeout_ms=*/50);
+    if (!client) continue;
+    ++session_salt;
+    handle_session(std::move(*client));
+  }
+}
+
+void PeerServer::handle_session(Socket client) {
+  static std::atomic<std::uint64_t> session_counter{0};
+  const std::uint64_t salt = ++session_counter;
+
+  crypto::SessionKey session_key{};
+  if (config_.require_auth) {
+    if (!identity_) return;
+    const auto hello_frame = recv_frame(client, kMaxClientFrame);
+    if (!hello_frame) return;
+    const auto hello = p2p::wire::decode_auth_hello(*hello_frame);
+    if (!hello) return;
+    const auto user = users_.find(hello->user_id);
+    if (user == users_.end()) {
+      ++auth_rejections_;
+      return;
+    }
+    crypto::ChaCha20 rng = seeded_rng(config_.rng_seed, salt);
+    crypto::AuthResponder responder(config_.peer_id, *identity_, user->second,
+                                    rng);
+    const auto challenge = responder.on_hello(*hello);
+    if (!send_frame(client, p2p::wire::encode(challenge))) return;
+    const auto response_frame = recv_frame(client, kMaxClientFrame);
+    if (!response_frame) return;
+    const auto response = p2p::wire::decode_auth_response(*response_frame);
+    if (!response || !responder.on_response(*response)) {
+      ++auth_rejections_;
+      return;
+    }
+    session_key = responder.session_key();
+  }
+  (void)session_key;  // available for per-frame HMAC tagging if desired
+
+  const auto request_frame = recv_frame(client, kMaxClientFrame);
+  if (!request_frame) return;
+  const auto request = p2p::wire::decode_file_request(*request_frame);
+  if (!request) return;
+
+  // Transmission "4": stream the verbatim store, paced to the upload rate.
+  const double rate =
+      (config_.rate_kbps > 0.0 &&
+       (request->max_rate_kbps <= 0.0 || config_.rate_kbps < request->max_rate_kbps))
+          ? config_.rate_kbps
+          : request->max_rate_kbps;
+  const std::size_t count = store_.count(request->file_id);
+  for (std::size_t i = 0; i < count && running_; ++i) {
+    const coding::EncodedMessage& msg = store_.at(request->file_id, i);
+    if (!send_frame(client, p2p::wire::encode(msg))) return;  // client left
+    ++messages_sent_;
+    if (rate > 0.0) {
+      const double ms =
+          static_cast<double>(msg.wire_size()) * 8.0 / rate;  // kb / kbps
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long>(ms * 1000.0)));
+    }
+    // Transmission "5": the user says stop as soon as it can decode.
+    if (client.readable(0)) {
+      const auto stop_frame = recv_frame(client, kMaxClientFrame);
+      if (!stop_frame) return;
+      if (p2p::wire::decode_stop_transmission(*stop_frame)) break;
+    }
+  }
+  ++sessions_completed_;
+}
+
+}  // namespace fairshare::net

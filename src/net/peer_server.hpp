@@ -1,0 +1,77 @@
+// A peer as a real TCP server.
+//
+// Serves its verbatim message store over the wire protocol, exactly along
+// the Figure 4(b) timeline: (1) mutual challenge-response authentication,
+// (2/3) the user's file request, (4) a paced stream of stored coded
+// messages, (5) stop.  Peers still never touch coefficients or do coding
+// work — they read frames out of their store and pace them to the
+// configured upload rate.
+//
+// Sessions are handled one at a time per server (the accept loop blocks on
+// the active session); a swarm of n peers therefore serves n concurrent
+// sessions, one each — which is exactly the paper's download pattern.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <thread>
+
+#include "crypto/auth.hpp"
+#include "net/socket.hpp"
+#include "p2p/store.hpp"
+
+namespace fairshare::net {
+
+class PeerServer {
+ public:
+  struct Config {
+    std::uint16_t port = 0;   ///< 0 = pick a free port
+    double rate_kbps = 0.0;   ///< upload pacing; 0 = unpaced
+    bool require_auth = true;
+    std::uint64_t peer_id = 0;
+    std::uint64_t rng_seed = 1;  ///< nonce/session-key stream seed
+  };
+
+  /// The server takes its store and (when authenticating) its RSA identity
+  /// by value; register authorized users before start().
+  PeerServer(Config config, p2p::MessageStore store,
+             std::optional<crypto::RsaKeyPair> identity = std::nullopt);
+  ~PeerServer();
+
+  PeerServer(const PeerServer&) = delete;
+  PeerServer& operator=(const PeerServer&) = delete;
+
+  /// Authorize a user's public key (Figure 4(b) assumes peers know the
+  /// keys of the users they serve).
+  void register_user(std::uint64_t user_id, crypto::RsaPublicKey key);
+
+  /// Bind and spawn the accept loop.  False if the port cannot be bound.
+  bool start();
+  /// Stop accepting, close, join.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  std::size_t sessions_completed() const { return sessions_completed_; }
+  std::size_t auth_rejections() const { return auth_rejections_; }
+  std::size_t messages_sent() const { return messages_sent_; }
+
+ private:
+  void accept_loop();
+  void handle_session(Socket client);
+
+  Config config_;
+  p2p::MessageStore store_;
+  std::optional<crypto::RsaKeyPair> identity_;
+  std::map<std::uint64_t, crypto::RsaPublicKey> users_;
+  Listener listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> sessions_completed_{0};
+  std::atomic<std::size_t> auth_rejections_{0};
+  std::atomic<std::size_t> messages_sent_{0};
+};
+
+}  // namespace fairshare::net

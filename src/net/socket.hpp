@@ -1,0 +1,87 @@
+// Minimal RAII TCP sockets with length-prefixed framing.
+//
+// The simulation layers (sim::Simulator, p2p::System) model bandwidth; this
+// module makes the protocol *real*: peers listen on TCP ports, speak the
+// wire formats of p2p/wire.hpp over loopback or a LAN, and the paper's
+// Figure 4(b) timeline happens as actual bytes on actual sockets (see
+// net/peer_server.hpp, net/download_client.hpp and the localhost_swarm
+// example).
+//
+// Frames on the wire: u32 little-endian length, then that many bytes
+// (a p2p::wire frame).  Blocking IO with short timeouts; IPv4 only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fairshare::net {
+
+/// RAII wrapper over a connected TCP socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Blocking connect to host:port (IPv4 dotted quad or "localhost").
+  static std::optional<Socket> connect_to(const std::string& host,
+                                          std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Write all bytes; false on error/peer close.
+  bool write_all(std::span<const std::byte> data);
+  /// Read exactly n bytes; false on error/EOF.
+  bool read_exact(std::span<std::byte> out);
+  /// True when at least one byte is readable within timeout_ms.
+  bool readable(int timeout_ms) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen on 127.0.0.1:port.  port 0 picks a free port (readable
+  /// via port()).
+  static std::optional<Listener> bind_local(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Accept one connection; nullopt on timeout (timeout_ms) or error.
+  std::optional<Socket> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Send one length-prefixed frame.
+bool send_frame(Socket& socket, std::span<const std::byte> frame);
+
+/// Receive one frame; nullopt on EOF/error/oversized (> max_len) frames.
+std::optional<std::vector<std::byte>> recv_frame(Socket& socket,
+                                                 std::size_t max_len);
+
+}  // namespace fairshare::net

@@ -1,0 +1,41 @@
+// Durable peer state: serialize a peer's message store (and the metadata a
+// user carries) to bytes/files, so peers survive restarts without
+// re-dissemination and users can stash their FileInfo on a USB stick —
+// "if the owning peer is off-line, this information needs to be carried by
+// the user" (Section III-C).
+//
+// Container layout (little-endian):
+//   "FSST" | u32 version | u32 file-count |
+//     per file: u64 file-id | u32 message-count |
+//       per message: u32 frame-length | wire::coded_message frame
+// Every decoder is bounds-checked; malformed containers yield nullopt.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coding/message.hpp"
+#include "p2p/store.hpp"
+
+namespace fairshare::p2p {
+
+/// Serialize an entire store.
+std::vector<std::byte> serialize_store(const MessageStore& store);
+
+/// Rebuild a store from serialize_store output.  `per_file_limit` applies
+/// to the new store (excess messages are dropped, mirroring store()).
+std::optional<MessageStore> deserialize_store(
+    std::span<const std::byte> data, std::size_t per_file_limit = SIZE_MAX);
+
+/// File-backed convenience wrappers (atomic-ish: write then rename is the
+/// caller's job; these are plain write/read).
+bool save_store(const MessageStore& store, const std::string& path);
+std::optional<MessageStore> load_store(const std::string& path,
+                                       std::size_t per_file_limit = SIZE_MAX);
+
+/// User-carried metadata on disk (wire::file_info frame).
+bool save_file_info(const coding::FileInfo& info, const std::string& path);
+std::optional<coding::FileInfo> load_file_info(const std::string& path);
+
+}  // namespace fairshare::p2p

@@ -1,0 +1,85 @@
+// Binary wire formats for every protocol message the system exchanges.
+//
+// The in-process simulation passes C++ objects around for speed, but a
+// deployable system (and the paper's Figure 4(b) timeline) needs concrete
+// frames: the three handshake messages, the file request (transmission
+// "2"/"3"), coded data ("4"), the stop message ("5"), and the metadata
+// (FileInfo) the user carries to a remote machine.  All integers are
+// little-endian; every decoder is bounds-checked and total (malformed
+// input yields nullopt, never UB) — exercised by mutation tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/merkle_auth.hpp"
+#include "coding/message.hpp"
+#include "crypto/auth.hpp"
+
+namespace fairshare::p2p::wire {
+
+/// Frame type tags (first byte of every frame).
+enum class MessageType : std::uint8_t {
+  auth_hello = 1,
+  auth_challenge = 2,
+  auth_response = 3,
+  file_request = 4,       ///< Figure 4(b) transmission "2"/"3"
+  coded_message = 5,      ///< transmission "4"
+  stop_transmission = 6,  ///< transmission "5"
+  authenticated_message = 7,  ///< coded message + Merkle proof
+  file_info = 8,              ///< user-carried metadata
+};
+
+/// Transmission "2"/"3": an authenticated user asks a peer for a file's
+/// messages at up to `max_rate_kbps`.
+struct FileRequest {
+  std::uint64_t user_id = 0;
+  std::uint64_t file_id = 0;
+  double max_rate_kbps = 0.0;
+
+  bool operator==(const FileRequest&) const = default;
+};
+
+/// Transmission "5": enough messages decoded; stop sending.
+struct StopTransmission {
+  std::uint64_t user_id = 0;
+  std::uint64_t file_id = 0;
+
+  bool operator==(const StopTransmission&) const = default;
+};
+
+// --------------------------------------------------------------- encoders
+std::vector<std::byte> encode(const crypto::AuthHello& msg);
+std::vector<std::byte> encode(const crypto::AuthChallenge& msg);
+std::vector<std::byte> encode(const crypto::AuthResponse& msg);
+std::vector<std::byte> encode(const FileRequest& msg);
+std::vector<std::byte> encode(const StopTransmission& msg);
+std::vector<std::byte> encode(const coding::EncodedMessage& msg);
+std::vector<std::byte> encode(const coding::AuthenticatedMessage& msg);
+std::vector<std::byte> encode(const coding::FileInfo& info);
+
+// --------------------------------------------------------------- decoders
+// Each consumes a full frame produced by the matching encode().
+std::optional<crypto::AuthHello> decode_auth_hello(
+    std::span<const std::byte> frame);
+std::optional<crypto::AuthChallenge> decode_auth_challenge(
+    std::span<const std::byte> frame);
+std::optional<crypto::AuthResponse> decode_auth_response(
+    std::span<const std::byte> frame);
+std::optional<FileRequest> decode_file_request(
+    std::span<const std::byte> frame);
+std::optional<StopTransmission> decode_stop_transmission(
+    std::span<const std::byte> frame);
+std::optional<coding::EncodedMessage> decode_coded_message(
+    std::span<const std::byte> frame);
+std::optional<coding::AuthenticatedMessage> decode_authenticated_message(
+    std::span<const std::byte> frame);
+std::optional<coding::FileInfo> decode_file_info(
+    std::span<const std::byte> frame);
+
+/// Type tag of a frame (nullopt when empty or unknown).
+std::optional<MessageType> peek_type(std::span<const std::byte> frame);
+
+}  // namespace fairshare::p2p::wire

@@ -1,0 +1,47 @@
+#include "sim/demand.hpp"
+
+#include <cassert>
+
+namespace fairshare::sim {
+
+RandomBlocksDemand::RandomBlocksDemand(std::uint64_t block_slots,
+                                       std::uint64_t blocks_per_period,
+                                       std::uint64_t active_blocks,
+                                       std::uint64_t seed)
+    : block_slots_(block_slots),
+      blocks_per_period_(blocks_per_period),
+      active_blocks_(active_blocks),
+      rng_(seed) {
+  assert(block_slots_ > 0);
+  assert(active_blocks_ <= blocks_per_period_);
+}
+
+void RandomBlocksDemand::ensure_period(std::uint64_t period) {
+  if (period == cached_period_) return;
+  // Draw skipped periods too, so the pattern depends only on (seed, slot),
+  // not on the order of queries.
+  assert(period >= next_period_to_draw_ ||
+         period == cached_period_);  // engine advances monotonically
+  while (next_period_to_draw_ <= period) {
+    active_.assign(blocks_per_period_, false);
+    // Floyd-style sampling: choose active_blocks_ distinct blocks.
+    std::uint64_t chosen = 0;
+    while (chosen < active_blocks_) {
+      const std::uint64_t b = rng_.next_below(blocks_per_period_);
+      if (!active_[b]) {
+        active_[b] = true;
+        ++chosen;
+      }
+    }
+    cached_period_ = next_period_to_draw_++;
+  }
+}
+
+bool RandomBlocksDemand::requests(std::uint64_t slot) {
+  const std::uint64_t period_len = block_slots_ * blocks_per_period_;
+  ensure_period(slot / period_len);
+  const std::uint64_t block = (slot % period_len) / block_slots_;
+  return active_[block];
+}
+
+}  // namespace fairshare::sim

@@ -1,0 +1,108 @@
+// User demand processes I_i(t).
+//
+// Section IV-A models each user as requesting bandwidth in slot t with
+// probability gamma_i, iid across slots and users.  The evaluation
+// additionally uses scripted patterns: always-on saturation (Fig 5),
+// "12 randomly chosen hours in a day ... in chunks of 1 hour" (Figs 6-7),
+// and step functions (Fig 8a).  Each pattern is a DemandProcess.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fairshare::sim {
+
+/// Whether user i requests download bandwidth in slot t (the indicator
+/// I_i(t) of Section IV-A).  Implementations must be deterministic
+/// functions of (seed, t) so the engine may query any slot in order.
+class DemandProcess {
+ public:
+  virtual ~DemandProcess() = default;
+  virtual bool requests(std::uint64_t slot) = 0;
+};
+
+/// I(t) = 1 always: the saturated regime gamma -> 1 of Corollary 1 and of
+/// Figures 5 and 8b.
+class AlwaysDemand final : public DemandProcess {
+ public:
+  bool requests(std::uint64_t) override { return true; }
+};
+
+/// I(t) = 0 always (a pure contributor).
+class NeverDemand final : public DemandProcess {
+ public:
+  bool requests(std::uint64_t) override { return false; }
+};
+
+/// iid Bernoulli(gamma) per slot — the analytical model of Section IV-A.
+class BernoulliDemand final : public DemandProcess {
+ public:
+  BernoulliDemand(double gamma, std::uint64_t seed)
+      : gamma_(gamma), rng_(seed) {}
+  bool requests(std::uint64_t) override {
+    return rng_.next_double() < gamma_;
+  }
+
+ private:
+  double gamma_;
+  SplitMix64 rng_;
+};
+
+/// Demand driven externally between slots — the hook for job-level
+/// workloads (a user requests while it has queued transfers and stops
+/// when they finish, as in the service-capacity experiments).
+class ManualDemand final : public DemandProcess {
+ public:
+  void set(bool requesting) { requesting_ = requesting; }
+  bool requests(std::uint64_t) override { return requesting_; }
+
+ private:
+  bool requesting_ = false;
+};
+
+/// Requests exactly during the half-open intervals given (slots).
+/// Used for step scenarios like Fig 8a ("requests from time = 1000").
+class IntervalDemand final : public DemandProcess {
+ public:
+  using Interval = std::pair<std::uint64_t, std::uint64_t>;  // [begin, end)
+  explicit IntervalDemand(std::vector<Interval> intervals)
+      : intervals_(std::move(intervals)) {}
+  bool requests(std::uint64_t slot) override {
+    for (const auto& [b, e] : intervals_)
+      if (slot >= b && slot < e) return true;
+    return false;
+  }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+/// The Figs 6-7 pattern: time is divided into periods of `blocks_per_period
+/// * block_slots` slots; in each period, `active_blocks` of the blocks are
+/// chosen uniformly at random and the user requests throughout them.
+/// With block_slots = 3600 s, blocks_per_period = 24, active_blocks = 12
+/// this is "stream ... for 12 randomly chosen hours in a day ... in chunks
+/// of 1 hour".
+class RandomBlocksDemand final : public DemandProcess {
+ public:
+  RandomBlocksDemand(std::uint64_t block_slots, std::uint64_t blocks_per_period,
+                     std::uint64_t active_blocks, std::uint64_t seed);
+  bool requests(std::uint64_t slot) override;
+
+ private:
+  void ensure_period(std::uint64_t period);
+
+  std::uint64_t block_slots_;
+  std::uint64_t blocks_per_period_;
+  std::uint64_t active_blocks_;
+  SplitMix64 rng_;
+  std::uint64_t cached_period_ = ~std::uint64_t{0};
+  std::uint64_t next_period_to_draw_ = 0;
+  std::vector<bool> active_;  // per block of the cached period
+};
+
+}  // namespace fairshare::sim

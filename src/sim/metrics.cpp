@@ -1,0 +1,70 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairshare::sim {
+
+IncentiveBound incentive_bound(const Simulator& sim, std::size_t i) {
+  IncentiveBound out;
+  out.average_download = sim.average_download(i);
+  out.isolated = sim.isolated_average(i);
+  double free_share = 0.0;
+  for (std::size_t l = 0; l < sim.n(); ++l) {
+    if (l == i) continue;
+    free_share += (1.0 - sim.empirical_gamma(l)) * sim.average_pairwise(l, i);
+  }
+  out.bound = out.isolated + free_share;
+  return out;
+}
+
+double pairwise_unfairness(const Simulator& sim) {
+  const std::size_t n = sim.n();
+  double max_gap = 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double a = sim.average_pairwise(i, j);
+      const double b = sim.average_pairwise(j, i);
+      max_gap = std::max(max_gap, std::fabs(a - b));
+      sum += (a + b) / 2.0;
+      ++pairs;
+    }
+  }
+  if (pairs == 0 || sum <= 0.0) return 0.0;
+  const double mean_rate = sum / static_cast<double>(pairs);
+  return max_gap / mean_rate;
+}
+
+std::vector<double> pairwise_matrix(const Simulator& sim) {
+  const std::size_t n = sim.n();
+  std::vector<double> out(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      out[i * n + j] = sim.average_pairwise(i, j);
+  return out;
+}
+
+double eq3_download_lower_bound(std::span<const double> mu,
+                                std::span<const double> gamma,
+                                std::size_t j) {
+  double total_mu = 0.0, others = 0.0;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    total_mu += mu[i];
+    if (i != j) others += gamma[i] * mu[i];
+  }
+  return gamma[j] * mu[j] * total_mu / (mu[j] + others);
+}
+
+double jain_index(const std::vector<double>& values) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace fairshare::sim

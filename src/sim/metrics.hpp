@@ -1,0 +1,58 @@
+// Fairness/incentive metrics derived from a finished simulation — the
+// measurable forms of Theorem 1 and Corollary 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fairshare::sim {
+
+/// Measured form of the incentive guarantee.  Theorem 1's proof passes
+/// through inequality (12):
+///
+///   mu_bar_i  >=  gamma_i * mu_i  +  sum_{l != i} (1 - gamma_l) * mu_bar_li
+///
+/// i.e. a user's long-run download is at least its isolated average plus
+/// the free-bandwidth shares it earned.  Both sides are computable from
+/// the omniscient simulator state using empirical gammas.
+struct IncentiveBound {
+  double average_download = 0.0;  ///< mu_bar_i (lhs)
+  double bound = 0.0;             ///< rhs of inequality (12)
+  double isolated = 0.0;          ///< gamma_i * mu_i term alone
+  bool holds(double tolerance = 1e-9) const {
+    return average_download + tolerance >= bound;
+  }
+};
+
+IncentiveBound incentive_bound(const Simulator& sim, std::size_t i);
+
+/// Pairwise-fairness discrepancy of Corollary 1: in the saturated regime
+/// the long-run averages satisfy mu_bar_ij == mu_bar_ji.  Returns
+/// max_{i != j} |mu_bar_ij - mu_bar_ji| normalized by the mean pairwise
+/// rate (0 = perfectly pairwise fair).
+double pairwise_unfairness(const Simulator& sim);
+
+/// Full pairwise matrix mu_bar_ij for reporting.
+std::vector<double> pairwise_matrix(const Simulator& sim);
+
+/// Closed-form lower bound of Section IV-B, inequality (6), for the
+/// declared-proportional baseline (Equation 3) with truthful declarations:
+///
+///   E[sum_i mu_ij]  >=  gamma_j * mu_j * sum_i mu_i
+///                       / (mu_j + sum_{l != j} gamma_l * mu_l)
+///
+/// (obtained via Jensen's inequality; asymptotically exact as n grows with
+/// per-peer bandwidth O(1/n)).  Used to validate the simulator against the
+/// paper's analysis.
+double eq3_download_lower_bound(std::span<const double> mu,
+                                std::span<const double> gamma, std::size_t j);
+
+/// Jain's fairness index over per-peer download/upload ratios — a scalar
+/// summary used by the convergence benches (1 = every user's download
+/// matches its contribution exactly).
+double jain_index(const std::vector<double>& values);
+
+}  // namespace fairshare::sim

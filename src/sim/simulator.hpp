@@ -1,0 +1,112 @@
+// Time-slotted bandwidth-sharing simulator (the model of Section IV-A and
+// the simulator of Section V).
+//
+// n peers share upload bandwidth in discrete slots (the paper reallocates
+// "once per second"; one slot = one second, rates in kbps).  Each slot:
+//   1. demand processes produce the indicator vector I(t);
+//   2. every contributing peer's policy divides its current capacity among
+//      requesting users (Equation 2 for honest peers; anything at all for
+//      adversaries — the engine only enforces physics: no negative rates,
+//      no exceeding the peer's own link capacity, no serving non-requesters);
+//   3. allocations are optionally quantized to whole-message granularity
+//      (the fairness "quantization errors" of Section III-D);
+//   4. user download rates are recorded and each peer's policy receives
+//      feedback about what its own user got (Figure 4(b)'s "periodic
+//      feedback").
+//
+// The engine keeps the omniscient contribution matrix S_ij for metrics;
+// policies themselves only ever see their local feedback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "alloc/policy.hpp"
+#include "sim/demand.hpp"
+#include "sim/trace.hpp"
+
+namespace fairshare::sim {
+
+/// Static + behavioral description of one peer.
+struct PeerSetup {
+  /// Baseline upload capacity mu_i in kbps.
+  double upload_kbps = 0.0;
+  /// Capacity the peer *claims* (read by Equation-3-style policies; liars
+  /// inflate it).  Negative means "same as upload_kbps".
+  double declared_kbps = -1.0;
+  /// The user's request process I_i(t).
+  std::shared_ptr<DemandProcess> demand;
+  /// How the peer divides its upload among requesters.
+  std::shared_ptr<alloc::AllocationPolicy> policy;
+  /// Optional time-varying capacity (Fig 8b's drop/recovery); overrides
+  /// upload_kbps when set.
+  std::function<double(std::uint64_t)> capacity_schedule;
+  /// Optional contribution gate (Fig 7 / Fig 8a late joiners): when it
+  /// returns false the peer uploads nothing that slot (its user may still
+  /// request).
+  std::function<bool(std::uint64_t)> contributes;
+};
+
+struct SimConfig {
+  /// Allocation granularity in kbps (0 = continuous).  With message size
+  /// m*p bits served once per slot, the natural quantum is m*p/1000 kbps.
+  double quantum_kbps = 0.0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::vector<PeerSetup> peers, SimConfig config = {});
+
+  void step();
+  void run(std::uint64_t slots);
+
+  std::size_t n() const { return peers_.size(); }
+  std::uint64_t now() const { return slot_; }
+
+  /// Download rate series of user i: D_i(t) = sum_j mu_ji(t).
+  const Trace& download(std::size_t i) const { return download_[i]; }
+  /// Request indicator series of user i (0/1).
+  const Trace& requested(std::size_t i) const { return requested_[i]; }
+  /// Capacity peer i actually offered per slot (after schedule/gate).
+  const Trace& offered(std::size_t i) const { return offered_[i]; }
+
+  /// Cumulative contribution S_ij = sum_t mu_ij(t): peer i -> user j.
+  double contribution(std::size_t i, std::size_t j) const {
+    return contribution_[i * peers_.size() + j];
+  }
+  /// Long-run average pairwise rate mu_bar_ij = S_ij / t.
+  double average_pairwise(std::size_t i, std::size_t j) const;
+  /// Long-run average download of user i.
+  double average_download(std::size_t i) const;
+
+  /// Capacity peer i would deliver to its own user in isolation, averaged
+  /// over the run so far: mean over t of I_i(t) * capacity_i(t).  This is
+  /// the gamma_i * mu_i baseline of Theorem 1, using realized demand.
+  double isolated_average(std::size_t i) const;
+
+  /// Empirical request probability gamma_hat_i over the run so far.
+  double empirical_gamma(std::size_t i) const {
+    return requested_[i].mean();
+  }
+
+ private:
+  double capacity_at(std::size_t i, std::uint64_t t) const;
+
+  std::vector<PeerSetup> peers_;
+  SimConfig config_;
+  std::uint64_t slot_ = 0;
+  std::vector<double> declared_;
+  std::vector<double> contribution_;  // n*n, S_ij
+  std::vector<Trace> download_;
+  std::vector<Trace> requested_;
+  std::vector<Trace> offered_;
+  // scratch reused across slots
+  std::vector<std::uint8_t> requesting_;
+  std::vector<double> alloc_row_;
+  std::vector<double> slot_download_;
+  std::vector<double> slot_matrix_;  // mu_ij(t)
+};
+
+}  // namespace fairshare::sim

@@ -1,0 +1,28 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fairshare::sim {
+
+double Trace::mean(std::size_t begin, std::size_t end) const {
+  end = std::min(end, samples_.size());
+  if (begin >= end) return 0.0;
+  double sum = 0.0;
+  for (std::size_t t = begin; t < end; ++t) sum += samples_[t];
+  return sum / static_cast<double>(end - begin);
+}
+
+std::vector<double> Trace::smoothed(std::size_t window) const {
+  assert(window >= 1);
+  std::vector<double> out(samples_.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < samples_.size(); ++t) {
+    acc += samples_[t];
+    if (t >= window) acc -= samples_[t - window];
+    out[t] = acc / static_cast<double>(std::min(t + 1, window));
+  }
+  return out;
+}
+
+}  // namespace fairshare::sim

@@ -1,0 +1,33 @@
+// Per-entity time series with the smoothing the paper's plots use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairshare::sim {
+
+/// Append-only time series (one sample per slot).
+class Trace {
+ public:
+  void append(double v) { samples_.push_back(v); }
+
+  std::size_t size() const { return samples_.size(); }
+  double at(std::size_t t) const { return samples_[t]; }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Mean over [begin, end); empty range yields 0.
+  double mean(std::size_t begin, std::size_t end) const;
+  /// Mean over the whole series.
+  double mean() const { return mean(0, samples_.size()); }
+
+  /// Trailing running average with the given window ("our graphs were
+  /// smoothed with a running average of 10 seconds", Section V); sample t
+  /// averages slots (t-window, t].
+  std::vector<double> smoothed(std::size_t window) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace fairshare::sim

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fairshare::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The caller participates in parallel_for, so spawn threads - 1 workers.
+  workers_.reserve(threads > 0 ? threads - 1 : 0);
+  for (std::size_t i = 1; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::grab_and_run() {
+  std::size_t job;
+  const std::function<void(std::size_t)>* fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fn_ == nullptr || next_job_ >= jobs_) return false;
+    job = next_job_++;
+    fn = fn_;
+  }
+  (*fn)(job);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (++completed_ == jobs_) done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (fn_ != nullptr && generation_ != seen_generation &&
+                         next_job_ < jobs_);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    while (grab_and_run()) {
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t jobs,
+                              const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+  if (jobs == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(fn_ == nullptr && "nested parallel_for is not supported");
+    fn_ = &fn;
+    jobs_ = jobs;
+    next_job_ = 0;
+    completed_ = 0;
+    ++generation_;
+  }
+  wake_.notify_all();
+  while (grab_and_run()) {
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return completed_ == jobs_; });
+    fn_ = nullptr;
+  }
+}
+
+}  // namespace fairshare::util

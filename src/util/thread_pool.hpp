@@ -1,0 +1,53 @@
+// Minimal blocking thread pool for data-parallel row operations.
+//
+// The decoder's cost is dominated by axpy over m-symbol payload rows
+// (Table II's O(m k^2) term).  Rows are independent byte ranges, so the
+// work splits perfectly; ParallelFor gives the Gaussian-elimination
+// kernels an easy fan-out without per-call thread spawning.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fairshare::util {
+
+/// Fixed-size worker pool.  parallel_for blocks the caller until every
+/// chunk has run; nested parallel_for from inside a task is not supported.
+class ThreadPool {
+ public:
+  /// `threads` workers (>= 1).  0 selects hardware_concurrency.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the participating caller).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Invoke fn(i) for every i in [0, jobs), distributed over the pool
+  /// (the calling thread participates).  Blocks until all complete.
+  void parallel_for(std::size_t jobs,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  bool grab_and_run();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::size_t next_job_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fairshare::util

@@ -1,0 +1,118 @@
+// 1 MB chunked ("streaming") encoding of Section III-D.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coding/chunker.hpp"
+#include "sim/rng.hpp"
+
+namespace fairshare::coding {
+namespace {
+
+SecretKey secret(std::uint8_t tag) {
+  SecretKey s{};
+  s[0] = tag;
+  return s;
+}
+
+std::vector<std::byte> random_data(std::size_t n, std::uint64_t seed) {
+  sim::SplitMix64 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = std::byte{static_cast<std::uint8_t>(rng.next())};
+  return out;
+}
+
+// Small units keep tests fast while exercising the multi-unit paths.
+constexpr std::size_t kUnit = 4096;
+const CodingParams kParams{gf::FieldId::gf2_32, 64};  // 256 B per message
+
+TEST(Chunker, SplitsIntoExpectedUnits) {
+  const auto data = random_data(3 * kUnit + 100, 1);
+  ChunkedEncoder enc(secret(1), 1000, data, kParams, kUnit);
+  EXPECT_EQ(enc.units(), 4u);
+  const auto info = enc.info();
+  EXPECT_EQ(info.units.size(), 4u);
+  EXPECT_EQ(info.total_bytes, data.size());
+  EXPECT_EQ(info.units[0].file_id, 1000u);
+  EXPECT_EQ(info.units[3].file_id, 1003u);
+  EXPECT_EQ(info.units[3].original_bytes, 100u);
+}
+
+TEST(Chunker, SingleUnitForSmallFile) {
+  const auto data = random_data(100, 2);
+  ChunkedEncoder enc(secret(1), 1, data, kParams, kUnit);
+  EXPECT_EQ(enc.units(), 1u);
+}
+
+TEST(Chunker, FullRoundTrip) {
+  const auto data = random_data(2 * kUnit + 77, 3);
+  ChunkedEncoder enc(secret(7), 500, data, kParams, kUnit);
+  // Generate k messages per unit up front.
+  std::vector<EncodedMessage> messages;
+  for (std::size_t u = 0; u < enc.units(); ++u) {
+    auto batch = enc.unit(u).generate(enc.unit(u).k());
+    messages.insert(messages.end(), batch.begin(), batch.end());
+  }
+  ChunkedDecoder dec(secret(7), enc.info());
+  for (const auto& m : messages) dec.add(m);
+  ASSERT_TRUE(dec.complete());
+  EXPECT_EQ(dec.reconstruct(), data);
+}
+
+TEST(Chunker, StreamingCompletesUnitsIndependently) {
+  const auto data = random_data(3 * kUnit, 4);
+  ChunkedEncoder enc(secret(8), 2000, data, kParams, kUnit);
+  // Generate every unit's messages up front so the metadata snapshot the
+  // user carries (info() below) includes their digests.
+  std::vector<std::vector<EncodedMessage>> unit_messages;
+  for (std::size_t u = 0; u < enc.units(); ++u)
+    unit_messages.push_back(enc.unit(u).generate(enc.unit(u).k()));
+  ChunkedDecoder dec(secret(8), enc.info());
+
+  // Complete unit 1 first: playback cannot start (unit 0 missing)...
+  for (auto& m : unit_messages[1]) dec.add(m);
+  EXPECT_TRUE(dec.unit_complete(1));
+  EXPECT_FALSE(dec.unit_complete(0));
+  EXPECT_EQ(dec.next_needed_unit(), 0u);
+  EXPECT_FALSE(dec.complete());
+
+  // ...then unit 0 arrives and the stream head advances past both.
+  for (auto& m : unit_messages[0]) dec.add(m);
+  EXPECT_EQ(dec.next_needed_unit(), 2u);
+
+  // Unit 0's decoded bytes equal the file prefix (streaming playback).
+  const auto head = dec.unit_data(0);
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), data.begin()));
+
+  for (auto& m : unit_messages[2]) dec.add(m);
+  EXPECT_TRUE(dec.complete());
+  EXPECT_EQ(dec.reconstruct(), data);
+}
+
+TEST(Chunker, RoutesByFileIdAndRejectsForeign) {
+  const auto data = random_data(kUnit + 1, 5);
+  ChunkedEncoder enc(secret(9), 3000, data, kParams, kUnit);
+  auto msg = enc.unit(0).generate(1)[0];
+  ChunkedDecoder dec(secret(9), enc.info());
+  EXPECT_EQ(dec.add(msg), AddResult::accepted);
+  msg.file_id = 9999;
+  EXPECT_EQ(dec.add(msg), AddResult::wrong_file);
+}
+
+TEST(Chunker, UnitsUseIndependentCoefficients) {
+  // The same message id in different units must carry different rows
+  // (file id feeds the PRNG seed).
+  const auto data = random_data(2 * kUnit, 6);
+  ChunkedEncoder enc(secret(10), 4000, data, kParams, kUnit);
+  const auto m0 = enc.unit(0).generate(1)[0];
+  const auto m1 = enc.unit(1).generate(1)[0];
+  EXPECT_EQ(m0.message_id, m1.message_id);
+  const CoefficientGenerator g0(secret(10), 4000, kParams,
+                                enc.unit(0).k());
+  const CoefficientGenerator g1(secret(10), 4001, kParams,
+                                enc.unit(1).k());
+  EXPECT_NE(g0.row(m0.message_id), g1.row(m1.message_id));
+}
+
+}  // namespace
+}  // namespace fairshare::coding

@@ -1,0 +1,87 @@
+// Secret-keyed coefficient rows: determinism, secrecy, uniformity.
+#include <gtest/gtest.h>
+
+#include "coding/coefficients.hpp"
+
+namespace fairshare::coding {
+namespace {
+
+SecretKey secret(std::uint8_t tag) {
+  SecretKey s{};
+  s[0] = tag;
+  return s;
+}
+
+class CoefficientsTest : public ::testing::TestWithParam<gf::FieldId> {
+ protected:
+  CodingParams params() const { return CodingParams{GetParam(), 1024}; }
+};
+
+TEST_P(CoefficientsTest, DeterministicAcrossInstances) {
+  const CoefficientGenerator a(secret(1), 42, params(), 16);
+  const CoefficientGenerator b(secret(1), 42, params(), 16);
+  for (std::uint64_t mid : {0ull, 1ull, 1000ull, ~0ull}) {
+    EXPECT_EQ(a.row(mid), b.row(mid)) << "message id " << mid;
+  }
+}
+
+TEST_P(CoefficientsTest, DifferentMessageIdsDiffer) {
+  const CoefficientGenerator g(secret(1), 42, params(), 16);
+  EXPECT_NE(g.row(0), g.row(1));
+  EXPECT_NE(g.row(1), g.row(2));
+}
+
+TEST_P(CoefficientsTest, DifferentSecretsDiffer) {
+  const CoefficientGenerator a(secret(1), 42, params(), 16);
+  const CoefficientGenerator b(secret(2), 42, params(), 16);
+  EXPECT_NE(a.row(0), b.row(0));
+}
+
+TEST_P(CoefficientsTest, DifferentFilesDiffer) {
+  const CoefficientGenerator a(secret(1), 42, params(), 16);
+  const CoefficientGenerator b(secret(1), 43, params(), 16);
+  EXPECT_NE(a.row(0), b.row(0));
+}
+
+TEST_P(CoefficientsTest, SymbolsAreInField) {
+  const CoefficientGenerator g(secret(3), 1, params(), 64);
+  const auto symbols = g.row_symbols(7);
+  ASSERT_EQ(symbols.size(), 64u);
+  for (std::uint64_t s : symbols) EXPECT_LT(s, gf::field_order(GetParam()));
+}
+
+TEST_P(CoefficientsTest, RowSymbolsMatchPackedRow) {
+  const CoefficientGenerator g(secret(4), 9, params(), 32);
+  const auto packed = g.row(11);
+  const auto symbols = g.row_symbols(11);
+  const auto& f = gf::field_view(GetParam());
+  for (std::size_t j = 0; j < symbols.size(); ++j)
+    EXPECT_EQ(f.get(packed.data(), j), symbols[j]);
+}
+
+TEST_P(CoefficientsTest, SymbolsLookUniform) {
+  // Mean of symbols over many rows should be near (q-1)/2.
+  const std::size_t k = 64;
+  const CoefficientGenerator g(secret(5), 2, params(), k);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::uint64_t mid = 0; mid < 64; ++mid) {
+    for (std::uint64_t s : g.row_symbols(mid)) {
+      sum += static_cast<double>(s);
+      ++count;
+    }
+  }
+  const double mean = sum / static_cast<double>(count);
+  const double expected =
+      static_cast<double>(gf::field_order(GetParam()) - 1) / 2.0;
+  EXPECT_NEAR(mean, expected, expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, CoefficientsTest,
+                         ::testing::Values(gf::FieldId::gf2_4,
+                                           gf::FieldId::gf2_8,
+                                           gf::FieldId::gf2_16,
+                                           gf::FieldId::gf2_32));
+
+}  // namespace
+}  // namespace fairshare::coding

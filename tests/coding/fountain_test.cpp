@@ -1,0 +1,149 @@
+// LT fountain codes (digital-fountain baseline).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coding/fountain.hpp"
+#include "sim/rng.hpp"
+
+namespace fairshare::coding {
+namespace {
+
+std::vector<std::byte> random_data(std::size_t n, std::uint64_t seed) {
+  sim::SplitMix64 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = std::byte{static_cast<std::uint8_t>(rng.next())};
+  return out;
+}
+
+TEST(RobustSoliton, PmfSumsToOne) {
+  for (std::size_t k : {1u, 2u, 10u, 100u, 1000u}) {
+    RobustSoliton dist(k);
+    double sum = 0.0;
+    for (std::size_t d = 1; d <= k; ++d) sum += dist.pmf(d);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(RobustSoliton, SamplesStayInRange) {
+  RobustSoliton dist(50);
+  sim::SplitMix64 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t d = dist.sample(rng);
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 50u);
+  }
+}
+
+TEST(RobustSoliton, LowDegreesDominate) {
+  // The soliton shape: degrees 1 and 2 carry substantial mass (degree 2
+  // the most), enabling the peeling process to start and continue.
+  RobustSoliton dist(100);
+  EXPECT_GT(dist.pmf(1), 0.005);
+  EXPECT_GT(dist.pmf(2), 0.3);
+  EXPECT_GT(dist.pmf(2), dist.pmf(3));
+  EXPECT_GT(dist.pmf(3), dist.pmf(10));
+}
+
+TEST(RobustSoliton, EmpiricalMeanMatchesPmf) {
+  RobustSoliton dist(64);
+  sim::SplitMix64 rng(2);
+  double expected = 0.0;
+  for (std::size_t d = 1; d <= 64; ++d)
+    expected += static_cast<double>(d) * dist.pmf(d);
+  double sum = 0.0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i)
+    sum += static_cast<double>(dist.sample(rng));
+  EXPECT_NEAR(sum / trials, expected, 0.15);
+}
+
+TEST(LtCodec, RoundTripSmall) {
+  const auto data = random_data(1000, 3);
+  LtEncoder enc(data, 100);  // k = 10
+  EXPECT_EQ(enc.k(), 10u);
+  LtDecoder dec(enc.k(), enc.block_bytes(), data.size());
+  sim::SplitMix64 rng(4);
+  while (!dec.complete()) dec.add(enc.next_symbol(rng));
+  EXPECT_EQ(dec.reconstruct(), data);
+}
+
+TEST(LtCodec, RoundTripUnevenTail) {
+  const auto data = random_data(1037, 5);  // tail block padded
+  LtEncoder enc(data, 128);
+  LtDecoder dec(enc.k(), enc.block_bytes(), data.size());
+  sim::SplitMix64 rng(6);
+  while (!dec.complete()) dec.add(enc.next_symbol(rng));
+  EXPECT_EQ(dec.reconstruct(), data);
+}
+
+TEST(LtCodec, SingleBlockDegenerate) {
+  const auto data = random_data(50, 7);
+  LtEncoder enc(data, 64);  // k = 1
+  EXPECT_EQ(enc.k(), 1u);
+  LtDecoder dec(1, 64, data.size());
+  sim::SplitMix64 rng(8);
+  dec.add(enc.next_symbol(rng));
+  ASSERT_TRUE(dec.complete());
+  EXPECT_EQ(dec.reconstruct(), data);
+}
+
+TEST(LtCodec, OverheadIsModest) {
+  // LT needs k(1 + eps) symbols; for k = 256 eps should be well under 60%.
+  const auto data = random_data(256 * 64, 9);
+  LtEncoder enc(data, 64);
+  ASSERT_EQ(enc.k(), 256u);
+  double total_overhead = 0.0;
+  const int trials = 10;
+  sim::SplitMix64 rng(10);
+  for (int t = 0; t < trials; ++t) {
+    LtDecoder dec(enc.k(), enc.block_bytes(), data.size());
+    while (!dec.complete()) dec.add(enc.next_symbol(rng));
+    EXPECT_EQ(dec.reconstruct(), data);
+    total_overhead += static_cast<double>(dec.symbols_received()) / 256.0;
+  }
+  const double avg = total_overhead / trials;
+  EXPECT_GT(avg, 1.0);   // strictly more than k (fountain overhead exists)
+  EXPECT_LT(avg, 1.6);   // but bounded
+}
+
+TEST(LtCodec, RedundantSymbolsAreAbsorbed) {
+  const auto data = random_data(640, 11);
+  LtEncoder enc(data, 64);
+  LtDecoder dec(enc.k(), enc.block_bytes(), data.size());
+  sim::SplitMix64 rng(12);
+  const LtSymbol sym = enc.next_symbol(rng);
+  dec.add(sym);
+  dec.add(sym);  // duplicate: must not crash or double-count
+  while (!dec.complete()) dec.add(enc.next_symbol(rng));
+  EXPECT_EQ(dec.reconstruct(), data);
+}
+
+TEST(LtCodec, PeelingCascades) {
+  // Hand-built symbols: {0}, {0,1}, {1,2} — adding in reverse order only
+  // resolves once the degree-1 symbol arrives, then cascades to all three.
+  const auto data = random_data(3 * 16, 13);
+  LtEncoder enc(data, 16);
+  ASSERT_EQ(enc.k(), 3u);
+
+  auto make = [&](std::vector<std::uint32_t> sources) {
+    LtSymbol s;
+    s.sources = sources;
+    s.payload.assign(16, std::byte{0});
+    for (std::uint32_t src : sources)
+      for (std::size_t i = 0; i < 16; ++i)
+        s.payload[i] ^= data[src * 16 + i];
+    return s;
+  };
+
+  LtDecoder dec(3, 16, data.size());
+  dec.add(make({1, 2}));
+  dec.add(make({0, 1}));
+  EXPECT_EQ(dec.decoded_blocks(), 0u);
+  dec.add(make({0}));
+  EXPECT_TRUE(dec.complete());  // cascade released everything
+  EXPECT_EQ(dec.reconstruct(), data);
+}
+
+}  // namespace
+}  // namespace fairshare::coding

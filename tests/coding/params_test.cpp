@@ -1,0 +1,64 @@
+// Coding-parameter arithmetic; includes the exact Table I grid.
+#include <gtest/gtest.h>
+
+#include "coding/params.hpp"
+
+namespace fairshare::coding {
+namespace {
+
+TEST(Params, TableOneExactGrid) {
+  // Table I: messages k required for 1 MB across (q, m).  k = 2^23/(m*p).
+  struct Row {
+    gf::FieldId field;
+    std::size_t expected[6];  // m = 2^13 .. 2^18
+  };
+  const Row rows[] = {
+      {gf::FieldId::gf2_4, {256, 128, 64, 32, 16, 8}},
+      {gf::FieldId::gf2_8, {128, 64, 32, 16, 8, 4}},
+      {gf::FieldId::gf2_16, {64, 32, 16, 8, 4, 2}},
+      {gf::FieldId::gf2_32, {32, 16, 8, 4, 2, 1}},
+  };
+  const std::size_t megabyte = 1u << 20;
+  for (const Row& row : rows) {
+    for (int j = 0; j < 6; ++j) {
+      const CodingParams params{row.field, std::size_t{1} << (13 + j)};
+      EXPECT_EQ(chunks_for_bytes(megabyte, params), row.expected[j])
+          << gf::field_name(row.field) << " m=2^" << (13 + j);
+    }
+  }
+}
+
+TEST(Params, PaperDefaults) {
+  // Section III-C: "our example cases in this paper, where k = 8,
+  // m = 32768 and q = 2^32".
+  const CodingParams p = CodingParams::paper_defaults();
+  EXPECT_EQ(p.field, gf::FieldId::gf2_32);
+  EXPECT_EQ(p.m, 32768u);
+  EXPECT_EQ(chunks_for_bytes(1u << 20, p), 8u);
+}
+
+TEST(Params, MessageBytes) {
+  EXPECT_EQ((CodingParams{gf::FieldId::gf2_4, 1024}).message_bytes(), 512u);
+  EXPECT_EQ((CodingParams{gf::FieldId::gf2_8, 1024}).message_bytes(), 1024u);
+  EXPECT_EQ((CodingParams{gf::FieldId::gf2_16, 1024}).message_bytes(), 2048u);
+  EXPECT_EQ((CodingParams{gf::FieldId::gf2_32, 1024}).message_bytes(), 4096u);
+}
+
+TEST(Params, ChunksRoundUpForUnevenSizes) {
+  const CodingParams p{gf::FieldId::gf2_8, 1024};  // 1 KiB per chunk
+  EXPECT_EQ(chunks_for_bytes(1, p), 1u);
+  EXPECT_EQ(chunks_for_bytes(1024, p), 1u);
+  EXPECT_EQ(chunks_for_bytes(1025, p), 2u);
+  EXPECT_EQ(chunks_for_bytes(10 * 1024, p), 10u);
+}
+
+TEST(Params, DigestOverheadMatchesPaperClaim) {
+  // "this corresponds to 128 hash bytes per megabyte" for k = 8: the k
+  // per-message MD5 digests are 8 * 16 = 128 bytes.
+  const CodingParams p = CodingParams::paper_defaults();
+  const std::size_t k = chunks_for_bytes(1u << 20, p);
+  EXPECT_EQ(k * 16, 128u);
+}
+
+}  // namespace
+}  // namespace fairshare::coding

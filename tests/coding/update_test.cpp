@@ -1,0 +1,150 @@
+// Incremental file updates (re-encode only changed units).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coding/update.hpp"
+#include "sim/rng.hpp"
+
+namespace fairshare::coding {
+namespace {
+
+SecretKey secret(std::uint8_t tag) {
+  SecretKey s{};
+  s[0] = tag;
+  return s;
+}
+
+std::vector<std::byte> random_data(std::size_t n, std::uint64_t seed) {
+  sim::SplitMix64 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = std::byte{static_cast<std::uint8_t>(rng.next())};
+  return out;
+}
+
+constexpr std::size_t kUnit = 4096;
+const CodingParams kParams{gf::FieldId::gf2_32, 64};
+
+TEST(Update, NoChangeMeansEmptyPlan) {
+  const auto data = random_data(3 * kUnit, 1);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  const UpdatePlan plan = plan_update(enc.info(), data);
+  EXPECT_TRUE(plan.changed_units.empty());
+  EXPECT_EQ(plan.new_unit_count, 3u);
+  EXPECT_EQ(plan.unchanged_units(), 3u);
+}
+
+TEST(Update, SingleByteEditTouchesOneUnit) {
+  const auto data = random_data(4 * kUnit, 2);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  auto modified = data;
+  modified[2 * kUnit + 17] ^= std::byte{1};  // inside unit 2
+  const UpdatePlan plan = plan_update(enc.info(), modified);
+  EXPECT_EQ(plan.changed_units, (std::vector<std::size_t>{2}));
+}
+
+TEST(Update, EditStraddlingUnitsTouchesBoth) {
+  const auto data = random_data(3 * kUnit, 3);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  auto modified = data;
+  modified[kUnit - 1] ^= std::byte{1};
+  modified[kUnit] ^= std::byte{1};
+  const UpdatePlan plan = plan_update(enc.info(), modified);
+  EXPECT_EQ(plan.changed_units, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Update, AppendedDataIsNewUnits) {
+  const auto data = random_data(2 * kUnit, 4);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  auto grown = data;
+  const auto extra = random_data(kUnit + 100, 5);
+  grown.insert(grown.end(), extra.begin(), extra.end());
+  const UpdatePlan plan = plan_update(enc.info(), grown);
+  EXPECT_EQ(plan.changed_units, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(plan.new_unit_count, 4u);
+}
+
+TEST(Update, TailLengthChangeDetected) {
+  const auto data = random_data(2 * kUnit + 100, 6);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  auto longer = data;
+  longer.push_back(std::byte{0x5A});  // tail unit grows by one byte
+  const UpdatePlan plan = plan_update(enc.info(), longer);
+  EXPECT_EQ(plan.changed_units, (std::vector<std::size_t>{2}));
+}
+
+TEST(Update, ShrinkDropsTrailingUnits) {
+  const auto data = random_data(4 * kUnit, 7);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  const std::vector<std::byte> shorter(data.begin(),
+                                       data.begin() + 2 * kUnit);
+  const UpdatePlan plan = plan_update(enc.info(), shorter);
+  EXPECT_TRUE(plan.changed_units.empty());
+  EXPECT_EQ(plan.new_unit_count, 2u);
+  EXPECT_EQ(plan.old_unit_count, 4u);
+}
+
+TEST(Update, RetransmitCostScalesWithChangedUnits) {
+  const auto data = random_data(8 * kUnit, 8);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  auto modified = data;
+  modified[0] ^= std::byte{1};  // one of eight units
+  const UpdatePlan plan = plan_update(enc.info(), modified);
+  const std::size_t incremental = plan.retransmit_bytes(5, kParams);
+  const std::size_t full = plan.full_retransmit_bytes(5, kParams);
+  EXPECT_EQ(full, 8 * incremental);  // 8x saving for a 1-unit edit
+}
+
+TEST(Update, AppliedUpdateDecodesToNewContent) {
+  const auto data = random_data(3 * kUnit, 9);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  // Pre-generate old messages (what peers already store).
+  std::vector<std::vector<EncodedMessage>> old_messages;
+  for (std::size_t u = 0; u < enc.units(); ++u)
+    old_messages.push_back(enc.unit(u).generate(enc.unit(u).k()));
+  const ChunkedFileInfo old_info = enc.info();
+
+  auto modified = data;
+  modified[kUnit + 5] ^= std::byte{0xFF};  // unit 1 changes
+
+  FileUpdate update = apply_update(secret(1), old_info, modified, 500);
+  ASSERT_EQ(update.changed_units, (std::vector<std::size_t>{1}));
+  ASSERT_EQ(update.encoders.size(), 1u);
+  // Unchanged units keep their ids; the changed one moved to 500 + 1.
+  EXPECT_EQ(update.info.units[0].file_id, old_info.units[0].file_id);
+  EXPECT_EQ(update.info.units[1].file_id, 501u);
+  EXPECT_EQ(update.info.units[2].file_id, old_info.units[2].file_id);
+
+  // New-version messages for the changed unit only.
+  auto fresh = update.encoders[0]->generate(update.encoders[0]->k());
+  // Refresh digests for the changed unit in the carried metadata.
+  update.info.units[1] = update.encoders[0]->info();
+
+  ChunkedDecoder dec(secret(1), update.info);
+  for (const auto& m : old_messages[0]) dec.add(m);
+  for (const auto& m : fresh) dec.add(m);
+  for (const auto& m : old_messages[2]) dec.add(m);
+  ASSERT_TRUE(dec.complete());
+  EXPECT_EQ(dec.reconstruct(), modified);
+}
+
+TEST(Update, StaleMessagesOfChangedUnitAreRejected) {
+  const auto data = random_data(2 * kUnit, 10);
+  ChunkedEncoder enc(secret(1), 100, data, kParams, kUnit);
+  std::vector<std::vector<EncodedMessage>> old_messages;
+  for (std::size_t u = 0; u < enc.units(); ++u)
+    old_messages.push_back(enc.unit(u).generate(enc.unit(u).k()));
+
+  auto modified = data;
+  modified[3] ^= std::byte{1};  // unit 0 changes
+  FileUpdate update = apply_update(secret(1), enc.info(), modified, 700);
+  update.info.units[0] = update.encoders[0]->info();
+
+  ChunkedDecoder dec(secret(1), update.info);
+  // Old unit-0 messages carry the old file id (100), which no longer
+  // exists in the updated metadata (unit 0 is now 700).
+  EXPECT_EQ(dec.add(old_messages[0][0]), AddResult::wrong_file);
+}
+
+}  // namespace
+}  // namespace fairshare::coding

@@ -1,0 +1,97 @@
+// Scenario builder facade.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "sim/metrics.hpp"
+
+namespace fairshare::core {
+namespace {
+
+TEST(Scenario, SaturatedScenarioConverges) {
+  auto scenario = saturated_scenario({100, 200, 300});
+  sim::Simulator s = scenario.build();
+  s.run(5000);
+  EXPECT_NEAR(s.download(0).mean(4000, 5000), 100, 15);
+  EXPECT_NEAR(s.download(1).mean(4000, 5000), 200, 25);
+  EXPECT_NEAR(s.download(2).mean(4000, 5000), 300, 35);
+}
+
+TEST(Scenario, DefaultsAreSaturatedEq2) {
+  Scenario sc;
+  sc.add_peer(500);
+  sc.add_peer(500);
+  sim::Simulator s = sc.build();
+  s.run(100);
+  EXPECT_DOUBLE_EQ(s.empirical_gamma(0), 1.0);
+  EXPECT_NEAR(s.average_download(0), 500, 1e-6);
+}
+
+TEST(Scenario, DemandOverride) {
+  Scenario sc;
+  sc.add_peer(100);
+  sc.add_peer(100);
+  sc.demand(0, std::make_shared<sim::NeverDemand>());
+  sim::Simulator s = sc.build();
+  s.run(50);
+  EXPECT_DOUBLE_EQ(s.average_download(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.average_download(1), 200.0);  // gets both uploads
+}
+
+TEST(Scenario, ContributionGate) {
+  Scenario sc;
+  sc.add_peer(100);
+  sc.add_peer(100);
+  sc.contributes_when(0, [](std::uint64_t t) { return t >= 10; });
+  sim::Simulator s = sc.build();
+  s.run(20);
+  EXPECT_DOUBLE_EQ(s.offered(0).at(5), 0.0);
+  EXPECT_DOUBLE_EQ(s.offered(0).at(15), 100.0);
+}
+
+TEST(Scenario, CapacitySchedule) {
+  Scenario sc;
+  sc.add_peer(100);
+  sc.capacity_schedule(0, [](std::uint64_t t) { return t < 5 ? 80.0 : 40.0; });
+  sim::Simulator s = sc.build();
+  s.run(10);
+  EXPECT_DOUBLE_EQ(s.offered(0).at(0), 80.0);
+  EXPECT_DOUBLE_EQ(s.offered(0).at(9), 40.0);
+}
+
+TEST(Scenario, DeclaredCapacityFeedsEquation3) {
+  Scenario sc;
+  sc.add_peer(100);
+  sc.add_peer(100);
+  sc.declares(0, 900.0);
+  for (std::size_t i = 0; i < 2; ++i)
+    sc.policy(i, std::make_shared<alloc::DeclaredProportionalPolicy>());
+  sim::Simulator s = sc.build();
+  s.run(100);
+  // Liar (peer 0) claims 900 vs honest 100: gets 90% of both uploads.
+  EXPECT_NEAR(s.average_download(0), 180.0, 1.0);
+  EXPECT_NEAR(s.average_download(1), 20.0, 1.0);
+}
+
+TEST(Scenario, QuantumPropagates) {
+  Scenario sc;
+  sc.quantum(40.0);
+  sc.add_peer(100);
+  sc.add_peer(100);
+  sim::Simulator s = sc.build();
+  s.run(5);
+  // Equal split 50/50 quantized to 40: each user gets 80.
+  EXPECT_NEAR(s.download(0).at(0), 80.0, 1e-9);
+}
+
+TEST(Scenario, JainIndexOfFairSystemNearOne) {
+  auto sc = saturated_scenario({400, 400, 400, 400});
+  sim::Simulator s = sc.build();
+  s.run(3000);
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < s.n(); ++i)
+    ratios.push_back(s.download(i).mean(2000, 3000) / 400.0);
+  EXPECT_GT(sim::jain_index(ratios), 0.999);
+}
+
+}  // namespace
+}  // namespace fairshare::core

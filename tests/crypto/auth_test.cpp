@@ -1,0 +1,158 @@
+// The mutual challenge-response handshake of Figure 4(b).
+#include <gtest/gtest.h>
+
+#include "crypto/auth.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace fairshare::crypto {
+namespace {
+
+ChaCha20 make_rng(std::uint8_t tag) {
+  std::array<std::uint8_t, 32> key{};
+  key[0] = tag;
+  std::array<std::uint8_t, 12> nonce{};
+  return ChaCha20(key, nonce, 0);
+}
+
+class AuthTest : public ::testing::Test {
+ protected:
+  static const RsaKeyPair& user_key() {
+    static ChaCha20 rng = make_rng(1);
+    static const RsaKeyPair k = RsaKeyPair::generate(512, rng);
+    return k;
+  }
+  static const RsaKeyPair& peer_key() {
+    static ChaCha20 rng = make_rng(2);
+    static const RsaKeyPair k = RsaKeyPair::generate(512, rng);
+    return k;
+  }
+  static const RsaKeyPair& rogue_key() {
+    static ChaCha20 rng = make_rng(3);
+    static const RsaKeyPair k = RsaKeyPair::generate(512, rng);
+    return k;
+  }
+};
+
+TEST_F(AuthTest, SuccessfulMutualHandshake) {
+  ChaCha20 rng = make_rng(10);
+  AuthInitiator user(7, user_key(), peer_key().pub, rng);
+  AuthResponder peer(3, peer_key(), user_key().pub, rng);
+
+  const AuthHello hello = user.hello();
+  EXPECT_EQ(hello.user_id, 7u);
+  const AuthChallenge challenge = peer.on_hello(hello);
+  EXPECT_EQ(challenge.peer_id, 3u);
+  const auto response = user.on_challenge(challenge);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(peer.on_response(*response));
+
+  EXPECT_TRUE(user.established());
+  EXPECT_TRUE(peer.established());
+  EXPECT_EQ(user.session_key(), peer.session_key());
+}
+
+TEST_F(AuthTest, SessionKeysDifferAcrossHandshakes) {
+  ChaCha20 rng = make_rng(11);
+  SessionKey first{};
+  {
+    AuthInitiator user(1, user_key(), peer_key().pub, rng);
+    AuthResponder peer(2, peer_key(), user_key().pub, rng);
+    auto resp = user.on_challenge(peer.on_hello(user.hello()));
+    ASSERT_TRUE(resp && peer.on_response(*resp));
+    first = user.session_key();
+  }
+  AuthInitiator user(1, user_key(), peer_key().pub, rng);
+  AuthResponder peer(2, peer_key(), user_key().pub, rng);
+  auto resp = user.on_challenge(peer.on_hello(user.hello()));
+  ASSERT_TRUE(resp && peer.on_response(*resp));
+  EXPECT_NE(first, user.session_key());
+}
+
+TEST_F(AuthTest, ImpersonatingPeerIsRejectedByUser) {
+  ChaCha20 rng = make_rng(12);
+  // User expects peer_key but a rogue signs the challenge.
+  AuthInitiator user(1, user_key(), peer_key().pub, rng);
+  AuthResponder rogue(2, rogue_key(), user_key().pub, rng);
+  const auto challenge = rogue.on_hello(user.hello());
+  EXPECT_FALSE(user.on_challenge(challenge).has_value());
+  EXPECT_FALSE(user.established());
+}
+
+TEST_F(AuthTest, ImpersonatingUserIsRejectedByPeer) {
+  ChaCha20 rng = make_rng(13);
+  // Rogue initiator signs with its own key; peer expects user_key.
+  AuthInitiator rogue(1, rogue_key(), peer_key().pub, rng);
+  AuthResponder peer(2, peer_key(), user_key().pub, rng);
+  const auto challenge = peer.on_hello(rogue.hello());
+  const auto response = rogue.on_challenge(challenge);
+  ASSERT_TRUE(response.has_value());  // rogue verified the honest peer fine
+  EXPECT_FALSE(peer.on_response(*response));
+  EXPECT_FALSE(peer.established());
+}
+
+TEST_F(AuthTest, TamperedChallengeNonceRejected) {
+  ChaCha20 rng = make_rng(14);
+  AuthInitiator user(1, user_key(), peer_key().pub, rng);
+  AuthResponder peer(2, peer_key(), user_key().pub, rng);
+  AuthChallenge challenge = peer.on_hello(user.hello());
+  challenge.peer_nonce[0] ^= 1;  // MITM flips a nonce bit
+  EXPECT_FALSE(user.on_challenge(challenge).has_value());
+}
+
+TEST_F(AuthTest, TamperedSessionKeyTransportRejected) {
+  ChaCha20 rng = make_rng(15);
+  AuthInitiator user(1, user_key(), peer_key().pub, rng);
+  AuthResponder peer(2, peer_key(), user_key().pub, rng);
+  auto response = user.on_challenge(peer.on_hello(user.hello()));
+  ASSERT_TRUE(response.has_value());
+  response->encrypted_session_key[5] ^= 0x10;  // splice attempt
+  EXPECT_FALSE(peer.on_response(*response));
+}
+
+TEST_F(AuthTest, ReplayedResponseAcrossHandshakesRejected) {
+  ChaCha20 rng = make_rng(16);
+  // Complete one handshake and capture the response.
+  AuthInitiator user1(1, user_key(), peer_key().pub, rng);
+  AuthResponder peer1(2, peer_key(), user_key().pub, rng);
+  auto response = user1.on_challenge(peer1.on_hello(user1.hello()));
+  ASSERT_TRUE(response && peer1.on_response(*response));
+
+  // Replaying it against a fresh handshake (fresh nonces) must fail.
+  AuthInitiator user2(1, user_key(), peer_key().pub, rng);
+  AuthResponder peer2(2, peer_key(), user_key().pub, rng);
+  (void)peer2.on_hello(user2.hello());
+  EXPECT_FALSE(peer2.on_response(*response));
+}
+
+TEST_F(AuthTest, ChallengeBeforeHelloFails) {
+  ChaCha20 rng = make_rng(17);
+  AuthInitiator user(1, user_key(), peer_key().pub, rng);
+  AuthChallenge bogus;
+  bogus.peer_id = 2;
+  bogus.signature.assign(64, 0);
+  EXPECT_FALSE(user.on_challenge(bogus).has_value());
+}
+
+TEST_F(AuthTest, ResponseBeforeHelloFails) {
+  ChaCha20 rng = make_rng(18);
+  AuthResponder peer(2, peer_key(), user_key().pub, rng);
+  AuthResponse bogus;
+  bogus.signature.assign(64, 0);
+  bogus.encrypted_session_key.assign(64, 0);
+  EXPECT_FALSE(peer.on_response(bogus));
+}
+
+TEST_F(AuthTest, SessionTagBindsKeyAndPayload) {
+  SessionKey key{};
+  key[0] = 1;
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const auto tag = session_tag(key, payload);
+  SessionKey other = key;
+  other[31] = 9;
+  EXPECT_NE(tag, session_tag(other, payload));
+  const std::vector<std::uint8_t> payload2{1, 2, 4};
+  EXPECT_NE(tag, session_tag(key, payload2));
+}
+
+}  // namespace
+}  // namespace fairshare::crypto

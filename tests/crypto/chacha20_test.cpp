@@ -1,0 +1,116 @@
+// ChaCha20 keystream correctness and the uniform() sampler.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/md5.hpp"  // to_hex
+
+namespace fairshare::crypto {
+namespace {
+
+std::array<std::uint8_t, 32> zero_key{};
+std::array<std::uint8_t, 12> zero_nonce{};
+
+TEST(ChaCha20, AllZeroKeystreamVector) {
+  // Well-known vector: key = 0^32, nonce = 0^12, counter = 0.  The first
+  // keystream block begins 76 b8 e0 ad a0 f1 3d 90 ...
+  ChaCha20 c(zero_key, zero_nonce, 0);
+  std::array<std::uint8_t, 32> out{};
+  c.generate(out);
+  EXPECT_EQ(to_hex(out),
+            "76b8e0ada0f13d90405d6ae55386bd28"
+            "bdd219b8a08ded1aa836efcc8b770dc7");
+}
+
+TEST(ChaCha20, SecondBlockContinuesStream) {
+  ChaCha20 whole(zero_key, zero_nonce, 0);
+  std::array<std::uint8_t, 128> big{};
+  whole.generate(big);
+
+  ChaCha20 skip(zero_key, zero_nonce, 1);  // start at block 1
+  std::array<std::uint8_t, 64> second{};
+  skip.generate(second);
+  EXPECT_TRUE(std::equal(second.begin(), second.end(), big.begin() + 64));
+}
+
+TEST(ChaCha20, ChunkedGenerationMatchesBulk) {
+  ChaCha20 a(zero_key, zero_nonce, 0);
+  ChaCha20 b(zero_key, zero_nonce, 0);
+  std::vector<std::uint8_t> bulk(257);
+  a.generate(bulk);
+  std::vector<std::uint8_t> pieces;
+  for (std::size_t chunk : {1u, 3u, 64u, 65u, 124u}) {
+    std::vector<std::uint8_t> part(chunk);
+    b.generate(part);
+    pieces.insert(pieces.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(pieces.size(), bulk.size());
+  EXPECT_EQ(pieces, bulk);
+}
+
+TEST(ChaCha20, NextByteMatchesGenerate) {
+  ChaCha20 a(zero_key, zero_nonce, 0);
+  ChaCha20 b(zero_key, zero_nonce, 0);
+  std::array<std::uint8_t, 100> bulk{};
+  a.generate(bulk);
+  for (std::uint8_t expected : bulk) EXPECT_EQ(b.next_byte(), expected);
+}
+
+TEST(ChaCha20, KeySensitivity) {
+  auto key2 = zero_key;
+  key2[0] = 1;
+  ChaCha20 a(zero_key, zero_nonce, 0);
+  ChaCha20 b(key2, zero_nonce, 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(ChaCha20, NonceSensitivity) {
+  auto nonce2 = zero_nonce;
+  nonce2[11] = 7;
+  ChaCha20 a(zero_key, zero_nonce, 0);
+  ChaCha20 b(zero_key, nonce2, 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(ChaCha20, UniformStaysBelowBound) {
+  ChaCha20 c(zero_key, zero_nonce, 0);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 255ull, 1000ull,
+                              (1ull << 32), (1ull << 33) + 5}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(c.uniform(bound), bound);
+  }
+}
+
+TEST(ChaCha20, UniformBoundOneAlwaysZero) {
+  ChaCha20 c(zero_key, zero_nonce, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(c.uniform(1), 0u);
+}
+
+TEST(ChaCha20, UniformIsRoughlyUniform) {
+  ChaCha20 c(zero_key, zero_nonce, 0);
+  std::map<std::uint64_t, int> counts;
+  const int trials = 16000;
+  for (int i = 0; i < trials; ++i) ++counts[c.uniform(16)];
+  for (const auto& [v, n] : counts) {
+    EXPECT_LT(v, 16u);
+    EXPECT_GT(n, trials / 16 / 2) << "value " << v << " undersampled";
+    EXPECT_LT(n, trials / 16 * 2) << "value " << v << " oversampled";
+  }
+}
+
+TEST(ChaCha20, KeystreamLooksBalanced) {
+  // Sanity: bit balance of 64 KiB of keystream within 1%.
+  ChaCha20 c(zero_key, zero_nonce, 0);
+  std::vector<std::uint8_t> buf(65536);
+  c.generate(buf);
+  std::size_t ones = 0;
+  for (std::uint8_t b : buf)
+    for (int i = 0; i < 8; ++i) ones += (b >> i) & 1;
+  const double frac = static_cast<double>(ones) / (buf.size() * 8.0);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace fairshare::crypto

@@ -1,0 +1,73 @@
+// RFC 4231 HMAC-SHA256 test vectors and constant-time comparison.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/md5.hpp"  // to_hex
+
+namespace fairshare::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto data = bytes("Hi There");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto key = bytes("Jefe");
+  const auto data = bytes("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key, "Test Using Larger Than Block-Size Key".
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto data = bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const auto data = bytes("payload");
+  EXPECT_NE(hmac_sha256(bytes("key1"), data), hmac_sha256(bytes("key2"), data));
+}
+
+TEST(HmacSha256, MessageSensitivity) {
+  const auto key = bytes("key");
+  EXPECT_NE(hmac_sha256(key, bytes("payload-a")),
+            hmac_sha256(key, bytes("payload-b")));
+}
+
+TEST(DigestEqual, EqualAndUnequal) {
+  const auto key = bytes("k");
+  const auto a = hmac_sha256(key, bytes("m"));
+  auto b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(DigestEqual, LengthMismatchIsUnequal) {
+  const std::vector<std::uint8_t> a(32, 0);
+  const std::vector<std::uint8_t> b(31, 0);
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace fairshare::crypto

@@ -1,0 +1,85 @@
+// RFC 1321 test suite plus incremental-hashing behavior.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/md5.hpp"
+
+namespace fairshare::crypto {
+namespace {
+
+std::string md5_hex(std::string_view s) { return to_hex(Md5::hash(s)); }
+
+TEST(Md5, Rfc1321TestSuite) {
+  EXPECT_EQ(md5_hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5_hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5_hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5_hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5_hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(md5_hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                    "0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(md5_hex("1234567890123456789012345678901234567890123456789012345"
+                    "6789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Md5 h;
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(msg.data()), split));
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(msg.data()) + split,
+        msg.size() - split));
+    EXPECT_EQ(to_hex(h.finish()), md5_hex(msg)) << "split at " << split;
+  }
+}
+
+TEST(Md5, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Md5 one;
+    one.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+    const auto d1 = one.finish();
+
+    Md5 bytewise;
+    for (char c : msg) {
+      const auto b = static_cast<std::uint8_t>(c);
+      bytewise.update(std::span<const std::uint8_t>(&b, 1));
+    }
+    EXPECT_EQ(bytewise.finish(), d1) << "len " << len;
+  }
+}
+
+TEST(Md5, ResetAllowsReuse) {
+  Md5 h;
+  h.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>("garbage"), 7));
+  h.reset();
+  const auto empty = h.finish();
+  EXPECT_EQ(to_hex(empty), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Md5::hash("abc"), Md5::hash("abd"));
+  EXPECT_NE(Md5::hash("abc"), Md5::hash("abc "));
+}
+
+TEST(Md5, ByteSpanOverloadMatchesString) {
+  const std::string s = "abc";
+  const auto bytes = std::as_bytes(std::span(s.data(), s.size()));
+  EXPECT_EQ(Md5::hash(bytes), Md5::hash(s));
+}
+
+TEST(ToHex, FormatsLowercasePairs) {
+  const std::array<std::uint8_t, 4> data{0x00, 0x0f, 0xa0, 0xff};
+  EXPECT_EQ(to_hex(data), "000fa0ff");
+}
+
+}  // namespace
+}  // namespace fairshare::crypto

@@ -1,0 +1,149 @@
+// Merkle tree construction, proofs, and verification.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+
+namespace fairshare::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+std::vector<Sha256Digest> make_leaves(std::size_t n) {
+  std::vector<Sha256Digest> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string item = "leaf-" + std::to_string(i);
+    leaves.push_back(merkle_leaf_hash(bytes(item)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, SingleLeafRootIsTheLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), 1, 0, leaves[0], {}));
+}
+
+TEST(Merkle, RootIsDeterministic) {
+  MerkleTree a(make_leaves(7));
+  MerkleTree b(make_leaves(7));
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(Merkle, RootDependsOnEveryLeaf) {
+  auto leaves = make_leaves(8);
+  MerkleTree base(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i][0] ^= 1;
+    EXPECT_NE(MerkleTree(mutated).root(), base.root()) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootDependsOnLeafOrder) {
+  auto leaves = make_leaves(4);
+  MerkleTree base(leaves);
+  std::swap(leaves[1], leaves[2]);
+  EXPECT_NE(MerkleTree(leaves).root(), base.root());
+}
+
+TEST(Merkle, AllProofsVerifyForAllSizes) {
+  for (std::size_t n = 1; n <= 20; ++n) {
+    const auto leaves = make_leaves(n);
+    MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto proof = tree.proof(i);
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), n, i, leaves[i], proof))
+          << "n=" << n << " i=" << i;
+      EXPECT_EQ(proof.size(), MerkleTree::proof_length(n, i))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Merkle, ProofSizeIsLogarithmic) {
+  const std::size_t n = 1024;
+  MerkleTree tree(make_leaves(n));
+  for (std::size_t i : {0u, 511u, 1023u})
+    EXPECT_EQ(tree.proof(i).size(), 10u);  // log2(1024)
+}
+
+TEST(Merkle, TamperedLeafRejected) {
+  const auto leaves = make_leaves(9);
+  MerkleTree tree(leaves);
+  auto bad_leaf = leaves[4];
+  bad_leaf[10] ^= 0xFF;
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 9, 4, bad_leaf, tree.proof(4)));
+}
+
+TEST(Merkle, TamperedProofRejected) {
+  const auto leaves = make_leaves(9);
+  MerkleTree tree(leaves);
+  auto proof = tree.proof(4);
+  ASSERT_FALSE(proof.empty());
+  proof[0][0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 9, 4, leaves[4], proof));
+}
+
+TEST(Merkle, WrongIndexRejected) {
+  const auto leaves = make_leaves(8);
+  MerkleTree tree(leaves);
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 8, 5, leaves[4], tree.proof(4)));
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 8, 8, leaves[4], tree.proof(4)));
+}
+
+TEST(Merkle, WrongLeafCountRejected) {
+  const auto leaves = make_leaves(8);
+  MerkleTree tree(leaves);
+  // Claiming a different tree size changes the promotion layout.
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 9, 4, leaves[4], tree.proof(4)));
+}
+
+TEST(Merkle, TruncatedAndPaddedProofsRejected) {
+  const auto leaves = make_leaves(8);
+  MerkleTree tree(leaves);
+  auto proof = tree.proof(3);
+  auto truncated = proof;
+  truncated.pop_back();
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 8, 3, leaves[3], truncated));
+  auto padded = proof;
+  padded.push_back(proof[0]);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 8, 3, leaves[3], padded));
+}
+
+TEST(Merkle, CrossLeafProofRejected) {
+  const auto leaves = make_leaves(16);
+  MerkleTree tree(leaves);
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 16, 2, leaves[2], tree.proof(9)));
+}
+
+TEST(Merkle, DomainSeparationLeafVsInterior) {
+  // A 65-byte buffer that mimics an interior preimage must not produce an
+  // interior hash (leaf tag 0x00 differs from interior tag 0x01).
+  const auto a = merkle_leaf_hash(bytes("x"));
+  const auto b = merkle_leaf_hash(bytes("y"));
+  std::vector<std::uint8_t> concat;
+  concat.insert(concat.end(), a.begin(), a.end());
+  concat.insert(concat.end(), b.begin(), b.end());
+  MerkleTree two({a, b});
+  EXPECT_NE(merkle_leaf_hash(concat), two.root());
+}
+
+TEST(Merkle, ByteAndU8LeafOverloadsAgree) {
+  const auto u8 = bytes("same-content");
+  const auto as_bytes = std::as_bytes(std::span(u8.data(), u8.size()));
+  EXPECT_EQ(merkle_leaf_hash(u8), merkle_leaf_hash(as_bytes));
+}
+
+}  // namespace
+}  // namespace fairshare::crypto

@@ -1,0 +1,87 @@
+// FIPS 180-4 / NIST test vectors and incremental behavior for SHA-256.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/md5.hpp"  // to_hex
+#include "crypto/sha256.hpp"
+
+namespace fairshare::crypto {
+namespace {
+
+std::string sha_hex(std::string_view s) { return to_hex(Sha256::hash(s)); }
+
+TEST(Sha256, NistShortVectors) {
+  EXPECT_EQ(sha_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i)
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(chunk.data()), chunk.size()));
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  const std::string expected = sha_hex(msg);
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(msg.data()), split));
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(msg.data()) + split,
+        msg.size() - split));
+    EXPECT_EQ(to_hex(h.finish()), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    const std::string msg(len, 'y');
+    Sha256 whole;
+    whole.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+    Sha256 bytewise;
+    for (char c : msg) {
+      const auto b = static_cast<std::uint8_t>(c);
+      bytewise.update(std::span<const std::uint8_t>(&b, 1));
+    }
+    EXPECT_EQ(bytewise.finish(), whole.finish()) << "len " << len;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>("junk"), 4));
+  h.reset();
+  EXPECT_EQ(to_hex(h.finish()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AvalancheOnSingleBitFlip) {
+  const auto a = Sha256::hash("fairshare");
+  const auto b = Sha256::hash("fairshbre");  // one changed character
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint8_t x = a[i] ^ b[i];
+    while (x) {
+      differing_bits += x & 1;
+      x >>= 1;
+    }
+  }
+  // Expect roughly half of 256 bits to differ; 80 is a loose floor.
+  EXPECT_GT(differing_bits, 80);
+}
+
+}  // namespace
+}  // namespace fairshare::crypto

@@ -1,0 +1,202 @@
+// Chord ring: responsibility, routing, churn, and the content locator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dht/chord.hpp"
+#include "sim/rng.hpp"
+
+namespace fairshare::dht {
+namespace {
+
+ChordRing make_ring(std::size_t n, std::uint64_t seed) {
+  ChordRing ring;
+  sim::SplitMix64 rng(seed);
+  while (ring.size() < n) ring.join(rng.next());
+  return ring;
+}
+
+TEST(RingHash, DeterministicAndSpread) {
+  EXPECT_EQ(ring_hash("abc"), ring_hash("abc"));
+  EXPECT_NE(ring_hash("abc"), ring_hash("abd"));
+  EXPECT_NE(ring_hash_u64(1), ring_hash_u64(2));
+  EXPECT_NE(ring_hash_u64(1, 0), ring_hash_u64(1, 1));  // salt matters
+}
+
+TEST(InInterval, HalfOpenSemantics) {
+  EXPECT_TRUE(in_interval(5, 3, 7));
+  EXPECT_TRUE(in_interval(7, 3, 7));   // closed at `to`
+  EXPECT_FALSE(in_interval(3, 3, 7));  // open at `from`
+  EXPECT_FALSE(in_interval(8, 3, 7));
+}
+
+TEST(InInterval, WrappedIntervals) {
+  const RingId big = ~RingId{0} - 5;
+  EXPECT_TRUE(in_interval(2, big, 10));
+  EXPECT_TRUE(in_interval(big + 1, big, 10));
+  EXPECT_FALSE(in_interval(big - 1, big, 10));
+  EXPECT_TRUE(in_interval(12345, 77, 77));  // (a, a] is the whole ring
+}
+
+TEST(ChordRing, JoinLeaveBasics) {
+  ChordRing ring;
+  EXPECT_TRUE(ring.join(10));
+  EXPECT_FALSE(ring.join(10));  // duplicate
+  EXPECT_TRUE(ring.join(20));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.leave(10));
+  EXPECT_FALSE(ring.leave(10));
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(ChordRing, SuccessorIsRingLowerBoundWithWrap) {
+  ChordRing ring;
+  for (RingId id : {100u, 200u, 300u}) ring.join(id);
+  EXPECT_EQ(ring.successor(50), 100u);
+  EXPECT_EQ(ring.successor(100), 100u);  // exact hit
+  EXPECT_EQ(ring.successor(101), 200u);
+  EXPECT_EQ(ring.successor(301), 100u);  // wraps
+}
+
+TEST(ChordRing, SingleNodeOwnsEverything) {
+  ChordRing ring;
+  ring.join(42);
+  for (RingId key : {RingId{0}, RingId{41}, RingId{42}, RingId{43}, ~RingId{0}})
+    EXPECT_EQ(ring.successor(key), 42u);
+  EXPECT_EQ(ring.lookup(12345, 42).owner, 42u);
+}
+
+TEST(ChordRing, LookupAgreesWithSuccessorEverywhere) {
+  const ChordRing ring = make_ring(64, 1);
+  sim::SplitMix64 rng(2);
+  const auto nodes = ring.nodes();
+  for (int trial = 0; trial < 500; ++trial) {
+    const RingId key = rng.next();
+    const RingId start = nodes[rng.next_below(nodes.size())];
+    EXPECT_EQ(ring.lookup(key, start).owner, ring.successor(key));
+  }
+}
+
+TEST(ChordRing, LookupHopsAreLogarithmic) {
+  const std::size_t n = 256;
+  const ChordRing ring = make_ring(n, 3);
+  sim::SplitMix64 rng(4);
+  const auto nodes = ring.nodes();
+  double total_hops = 0;
+  const int trials = 400;
+  std::size_t worst = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto r =
+        ring.lookup(rng.next(), nodes[rng.next_below(nodes.size())]);
+    total_hops += static_cast<double>(r.hops);
+    worst = std::max(worst, r.hops);
+  }
+  const double avg = total_hops / trials;
+  const double log_n = std::log2(static_cast<double>(n));
+  EXPECT_LE(avg, log_n);          // Chord averages ~0.5 log2 n
+  EXPECT_LE(worst, 3 * log_n);    // and tails stay logarithmic
+}
+
+TEST(ChordRing, FingersPointAtSuccessors) {
+  const ChordRing ring = make_ring(32, 5);
+  for (RingId node : ring.nodes()) {
+    const auto fingers = ring.fingers(node);
+    ASSERT_EQ(fingers.size(), ChordRing::kFingers);
+    for (std::size_t i = 0; i < fingers.size(); ++i)
+      EXPECT_EQ(fingers[i], ring.successor(node + (RingId{1} << i)));
+  }
+}
+
+TEST(ChordRing, SuccessorListWrapsAndExcludesSelf) {
+  ChordRing ring;
+  for (RingId id : {10u, 20u, 30u}) ring.join(id);
+  const auto list = ring.successor_list(30);
+  ASSERT_EQ(list.size(), 2u);  // only 2 other nodes exist
+  EXPECT_EQ(list[0], 10u);
+  EXPECT_EQ(list[1], 20u);
+}
+
+TEST(ChordRing, LookupsSurviveChurn) {
+  ChordRing ring = make_ring(64, 6);
+  sim::SplitMix64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    // Churn: one join, one leave.
+    ring.join(rng.next());
+    const auto nodes = ring.nodes();
+    ring.leave(nodes[rng.next_below(nodes.size())]);
+    const auto survivors = ring.nodes();
+    for (int probe = 0; probe < 20; ++probe) {
+      const RingId key = rng.next();
+      const RingId start = survivors[rng.next_below(survivors.size())];
+      EXPECT_EQ(ring.lookup(key, start).owner, ring.successor(key));
+    }
+  }
+}
+
+// ---------------------------------------------------------- ContentLocator
+
+TEST(ContentLocator, AnnounceAndLocate) {
+  ContentLocator locator(make_ring(16, 8));
+  locator.announce(1001, 3);
+  locator.announce(1001, 7);
+  locator.announce(2002, 5);
+  const auto start = locator.ring().nodes().front();
+  const auto r1 = locator.locate(1001, start);
+  EXPECT_EQ(r1.peers, (std::vector<std::uint64_t>{3, 7}));
+  const auto r2 = locator.locate(2002, start);
+  EXPECT_EQ(r2.peers, (std::vector<std::uint64_t>{5}));
+}
+
+TEST(ContentLocator, UnknownFileYieldsNoPeers) {
+  ContentLocator locator(make_ring(16, 9));
+  const auto r = locator.locate(4242, locator.ring().nodes().front());
+  EXPECT_TRUE(r.peers.empty());
+}
+
+TEST(ContentLocator, WithdrawRemovesPeer) {
+  ContentLocator locator(make_ring(8, 10));
+  locator.announce(1, 100);
+  locator.announce(1, 200);
+  locator.withdraw(1, 100);
+  const auto r = locator.locate(1, locator.ring().nodes().front());
+  EXPECT_EQ(r.peers, (std::vector<std::uint64_t>{200}));
+  locator.withdraw(1, 200);
+  EXPECT_TRUE(locator.locate(1, locator.ring().nodes().front()).peers.empty());
+}
+
+TEST(ContentLocator, RecordsSurvivePrimaryLeave) {
+  ContentLocator locator(make_ring(16, 11));
+  locator.announce(777, 42);
+  // Find and remove the primary holder of the record.
+  const RingId key = ring_hash_u64(777, 0x66696c65);
+  const RingId primary = locator.ring().successor(key);
+  locator.handle_leave(primary);
+  const auto survivors = locator.ring().nodes();
+  ASSERT_FALSE(survivors.empty());
+  const auto r = locator.locate(777, survivors.front());
+  EXPECT_EQ(r.peers, (std::vector<std::uint64_t>{42}));
+}
+
+TEST(ContentLocator, SurvivesSustainedChurn) {
+  ContentLocator locator(make_ring(32, 12));
+  for (std::uint64_t f = 0; f < 20; ++f) locator.announce(f, 1000 + f);
+  sim::SplitMix64 rng(13);
+  for (int round = 0; round < 10; ++round) {
+    const auto nodes = locator.ring().nodes();
+    locator.handle_leave(nodes[rng.next_below(nodes.size())]);
+    locator.handle_join(rng.next());
+    // After every churn event all 20 records remain locatable.
+    const auto survivors = locator.ring().nodes();
+    for (std::uint64_t f = 0; f < 20; ++f) {
+      const auto r =
+          locator.locate(f, survivors[rng.next_below(survivors.size())]);
+      ASSERT_EQ(r.peers.size(), 1u) << "file " << f << " round " << round;
+      EXPECT_EQ(r.peers[0], 1000 + f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairshare::dht

@@ -1,0 +1,75 @@
+// GF(2)[x] utilities and validation of the library's reduction moduli.
+#include <gtest/gtest.h>
+
+#include "gf/field.hpp"
+#include "gf/polynomial.hpp"
+
+namespace fairshare::gf {
+namespace {
+
+TEST(PolyDegree, Basics) {
+  EXPECT_EQ(poly_degree(1), 0);
+  EXPECT_EQ(poly_degree(2), 1);
+  EXPECT_EQ(poly_degree(0x13), 4);
+  EXPECT_EQ(poly_degree(0x100400007ull), 32);
+}
+
+TEST(PolyMulMod, MatchesFieldMultiplication) {
+  for (std::uint64_t a = 0; a < 16; ++a)
+    for (std::uint64_t b = 0; b < 16; ++b)
+      EXPECT_EQ(poly_mul_mod(a, b, FieldTraits<4>::modulus, 4),
+                GF<4>::mul(static_cast<std::uint8_t>(a),
+                           static_cast<std::uint8_t>(b)));
+}
+
+TEST(Irreducibility, LibraryModuliAreIrreducible) {
+  EXPECT_TRUE(poly_is_irreducible(FieldTraits<4>::modulus, 4));
+  EXPECT_TRUE(poly_is_irreducible(FieldTraits<8>::modulus, 8));
+  EXPECT_TRUE(poly_is_irreducible(FieldTraits<16>::modulus, 16));
+  EXPECT_TRUE(poly_is_irreducible(FieldTraits<32>::modulus, 32));
+}
+
+TEST(Irreducibility, KnownReduciblePolynomialsRejected) {
+  // x^4 + x^2 + 1 = (x^2 + x + 1)^2.
+  EXPECT_FALSE(poly_is_irreducible(0x15, 4));
+  // x^4 + 1 = (x + 1)^4.
+  EXPECT_FALSE(poly_is_irreducible(0x11, 4));
+  // x^8 + x^4 + x^2 + x = x * (...): has factor x.
+  EXPECT_FALSE(poly_is_irreducible(0x116, 8));
+  // CRC-16-CCITT x^16+x^12+x^5+1 has even weight -> divisible by x + 1.
+  EXPECT_FALSE(poly_is_irreducible(0x11021, 16));
+}
+
+TEST(Irreducibility, OtherKnownIrreduciblesAccepted) {
+  // AES polynomial x^8+x^4+x^3+x+1.
+  EXPECT_TRUE(poly_is_irreducible(0x11B, 8));
+  // x^2 + x + 1, the unique irreducible quadratic.
+  EXPECT_TRUE(poly_is_irreducible(0x7, 2));
+  EXPECT_FALSE(poly_is_irreducible(0x5, 2));  // x^2 + 1 = (x+1)^2
+}
+
+TEST(Primitivity, SmallFieldModuliArePrimitive) {
+  // The log/exp construction of field.cpp requires x primitive for p<=16.
+  EXPECT_TRUE(poly_is_primitive(FieldTraits<4>::modulus, 4));
+  EXPECT_TRUE(poly_is_primitive(FieldTraits<8>::modulus, 8));
+  EXPECT_TRUE(poly_is_primitive(FieldTraits<16>::modulus, 16));
+}
+
+TEST(Primitivity, AesPolynomialIsIrreducibleButNotPrimitive) {
+  // Classic fact: x has order 51 under 0x11B, not 255.
+  EXPECT_TRUE(poly_is_irreducible(0x11B, 8));
+  EXPECT_FALSE(poly_is_primitive(0x11B, 8));
+}
+
+TEST(Frobenius, FixedFieldOfFrobeniusIsPrimeField) {
+  // v^(2^1) == v only for v in {0, 1} when the modulus is irreducible of
+  // degree > 1 (the prime subfield GF(2)).
+  const std::uint64_t mod = FieldTraits<8>::modulus;
+  int fixed = 0;
+  for (std::uint64_t v = 0; v < 256; ++v)
+    if (poly_frobenius(v, mod, 8, 1) == v) ++fixed;
+  EXPECT_EQ(fixed, 2);
+}
+
+}  // namespace
+}  // namespace fairshare::gf

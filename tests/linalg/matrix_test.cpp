@@ -1,0 +1,153 @@
+// Dense matrix operations over GF(2^p).
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "sim/rng.hpp"
+
+namespace fairshare::linalg {
+namespace {
+
+using gf::FieldId;
+
+Matrix random_matrix(FieldId field, std::size_t rows, std::size_t cols,
+                     sim::SplitMix64& rng) {
+  const auto& f = gf::field_view(field);
+  Matrix m(field, rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m.set(r, c, rng.next() & (f.order - 1));
+  return m;
+}
+
+class MatrixTest : public ::testing::TestWithParam<FieldId> {};
+
+TEST_P(MatrixTest, IdentityActsAsNeutralElement) {
+  sim::SplitMix64 rng(1);
+  const Matrix a = random_matrix(GetParam(), 6, 6, rng);
+  const Matrix i = Matrix::identity(GetParam(), 6);
+  EXPECT_EQ(a.mul(i), a);
+  EXPECT_EQ(i.mul(a), a);
+}
+
+TEST_P(MatrixTest, IdentityHasFullRank) {
+  EXPECT_EQ(rank(Matrix::identity(GetParam(), 10)), 10u);
+}
+
+TEST_P(MatrixTest, ZeroMatrixHasRankZero) {
+  EXPECT_EQ(rank(Matrix(GetParam(), 5, 5)), 0u);
+}
+
+TEST_P(MatrixTest, DuplicatedRowsReduceRank) {
+  sim::SplitMix64 rng(2);
+  Matrix m = random_matrix(GetParam(), 4, 6, rng);
+  // Force row 3 == row 0.
+  for (std::size_t c = 0; c < 6; ++c) m.set(3, c, m.at(0, c));
+  EXPECT_LE(rank(m), 3u);
+}
+
+TEST_P(MatrixTest, RandomSquareMatricesAreAlmostSurelyInvertible) {
+  // Over GF(2^16)/GF(2^32) a random k x k matrix is invertible w.p.
+  // ~ prod (1 - q^-i) > 0.9999; for GF(2^4) the failure rate is visible,
+  // so only assert that invert() agrees with rank().
+  sim::SplitMix64 rng(3);
+  int invertible = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix m = random_matrix(GetParam(), 8, 8, rng);
+    const auto inv = invert(m);
+    EXPECT_EQ(inv.has_value(), rank(m) == 8u);
+    if (inv) {
+      ++invertible;
+      EXPECT_EQ(m.mul(*inv), Matrix::identity(GetParam(), 8));
+      EXPECT_EQ(inv->mul(m), Matrix::identity(GetParam(), 8));
+    }
+  }
+  EXPECT_GE(invertible, 15);  // even GF(2^4) succeeds ~93% of the time
+}
+
+TEST_P(MatrixTest, SingularMatrixHasNoInverse) {
+  sim::SplitMix64 rng(4);
+  Matrix m = random_matrix(GetParam(), 5, 5, rng);
+  for (std::size_t c = 0; c < 5; ++c) m.set(4, c, m.at(2, c));  // duplicate
+  EXPECT_FALSE(invert(m).has_value());
+}
+
+TEST_P(MatrixTest, SolveRecoversUnknowns) {
+  sim::SplitMix64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix b = random_matrix(GetParam(), 6, 6, rng);
+    if (rank(b) != 6) continue;
+    const Matrix x = random_matrix(GetParam(), 6, 17, rng);
+    const Matrix y = b.mul(x);
+    const auto solved = solve(b, y);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(*solved, x);
+  }
+}
+
+TEST_P(MatrixTest, SolveRejectsSingularSystems) {
+  const Matrix b(GetParam(), 4, 4);  // zero matrix
+  const Matrix y(GetParam(), 4, 3);
+  EXPECT_FALSE(solve(b, y).has_value());
+}
+
+TEST_P(MatrixTest, MulShapesCompose) {
+  sim::SplitMix64 rng(6);
+  const Matrix a = random_matrix(GetParam(), 3, 5, rng);
+  const Matrix b = random_matrix(GetParam(), 5, 2, rng);
+  const Matrix c = a.mul(b);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 2u);
+}
+
+TEST_P(MatrixTest, MulMatchesManualDotProduct) {
+  sim::SplitMix64 rng(7);
+  const auto& f = gf::field_view(GetParam());
+  const Matrix a = random_matrix(GetParam(), 4, 4, rng);
+  const Matrix b = random_matrix(GetParam(), 4, 4, rng);
+  const Matrix c = a.mul(b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      std::uint64_t acc = 0;
+      for (std::size_t l = 0; l < 4; ++l)
+        acc ^= f.mul(a.at(i, l), b.at(l, j));
+      EXPECT_EQ(c.at(i, j), acc);
+    }
+  }
+}
+
+TEST_P(MatrixTest, SwapRows) {
+  sim::SplitMix64 rng(8);
+  Matrix m = random_matrix(GetParam(), 3, 7, rng);
+  const Matrix before = m;
+  m.swap_rows(0, 2);
+  for (std::size_t c = 0; c < 7; ++c) {
+    EXPECT_EQ(m.at(0, c), before.at(2, c));
+    EXPECT_EQ(m.at(2, c), before.at(0, c));
+    EXPECT_EQ(m.at(1, c), before.at(1, c));
+  }
+  m.swap_rows(1, 1);  // self-swap is a no-op
+  EXPECT_EQ(m.at(1, 3), before.at(1, 3));
+}
+
+TEST_P(MatrixTest, RankOfWideAndTallMatrices) {
+  sim::SplitMix64 rng(9);
+  const Matrix wide = random_matrix(GetParam(), 3, 10, rng);
+  EXPECT_LE(rank(wide), 3u);
+  const Matrix tall = random_matrix(GetParam(), 10, 3, rng);
+  EXPECT_LE(rank(tall), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, MatrixTest,
+                         ::testing::Values(FieldId::gf2_4, FieldId::gf2_8,
+                                           FieldId::gf2_16, FieldId::gf2_32),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case FieldId::gf2_4: return "GF16";
+                             case FieldId::gf2_8: return "GF256";
+                             case FieldId::gf2_16: return "GF65536";
+                             default: return "GF2pow32";
+                           }
+                         });
+
+}  // namespace
+}  // namespace fairshare::linalg

@@ -1,0 +1,86 @@
+// TCP framing layer over loopback.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace fairshare::net {
+namespace {
+
+TEST(Socket, ConnectToClosedPortFails) {
+  // Bind then immediately close to obtain a (very likely) dead port.
+  auto probe = Listener::bind_local(0);
+  ASSERT_TRUE(probe.has_value());
+  const std::uint16_t port = probe->port();
+  probe->close();
+  EXPECT_FALSE(Socket::connect_to("127.0.0.1", port).has_value());
+}
+
+TEST(Socket, FrameRoundTripOverLoopback) {
+  auto listener = Listener::bind_local(0);
+  ASSERT_TRUE(listener.has_value());
+
+  std::vector<std::byte> payload(100000);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = std::byte{static_cast<std::uint8_t>(i * 31)};
+
+  std::thread server([&] {
+    auto conn = listener->accept(2000);
+    ASSERT_TRUE(conn.has_value());
+    const auto got = recv_frame(*conn, payload.size());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+    // Echo it back twice to exercise multiple frames per connection.
+    EXPECT_TRUE(send_frame(*conn, *got));
+    EXPECT_TRUE(send_frame(*conn, std::span<const std::byte>{}));  // empty
+  });
+
+  auto client = Socket::connect_to("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(send_frame(*client, payload));
+  const auto echo = recv_frame(*client, payload.size());
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(*echo, payload);
+  const auto empty = recv_frame(*client, payload.size());
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+  server.join();
+}
+
+TEST(Socket, OversizedFrameRejected) {
+  auto listener = Listener::bind_local(0);
+  ASSERT_TRUE(listener.has_value());
+  std::thread server([&] {
+    auto conn = listener->accept(2000);
+    ASSERT_TRUE(conn.has_value());
+    const std::vector<std::byte> big(1000, std::byte{1});
+    (void)send_frame(*conn, big);
+  });
+  auto client = Socket::connect_to("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_FALSE(recv_frame(*client, /*max_len=*/100).has_value());
+  server.join();
+}
+
+TEST(Socket, RecvOnClosedConnectionFails) {
+  auto listener = Listener::bind_local(0);
+  ASSERT_TRUE(listener.has_value());
+  std::thread server([&] {
+    auto conn = listener->accept(2000);
+    // close immediately
+  });
+  auto client = Socket::connect_to("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  server.join();
+  EXPECT_FALSE(recv_frame(*client, 1024).has_value());
+}
+
+TEST(Listener, AcceptTimesOutWithoutClient) {
+  auto listener = Listener::bind_local(0);
+  ASSERT_TRUE(listener.has_value());
+  EXPECT_FALSE(listener->accept(/*timeout_ms=*/20).has_value());
+}
+
+}  // namespace
+}  // namespace fairshare::net

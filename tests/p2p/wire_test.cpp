@@ -1,0 +1,246 @@
+// Wire formats: exact round-trips, defensive parsing of truncated and
+// mutated frames, and cross-type rejection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "p2p/wire.hpp"
+#include "sim/rng.hpp"
+
+namespace fairshare::p2p::wire {
+namespace {
+
+crypto::AuthHello sample_hello() {
+  crypto::AuthHello m;
+  m.user_id = 0x1122334455667788ull;
+  for (std::size_t i = 0; i < m.user_nonce.size(); ++i)
+    m.user_nonce[i] = static_cast<std::uint8_t>(i * 3);
+  return m;
+}
+
+crypto::AuthChallenge sample_challenge() {
+  crypto::AuthChallenge m;
+  m.peer_id = 42;
+  for (std::size_t i = 0; i < m.peer_nonce.size(); ++i)
+    m.peer_nonce[i] = static_cast<std::uint8_t>(0xF0 - i);
+  m.signature = {1, 2, 3, 4, 5, 6, 7};
+  return m;
+}
+
+crypto::AuthResponse sample_response() {
+  crypto::AuthResponse m;
+  m.signature = {9, 8, 7};
+  m.encrypted_session_key = {0xAA, 0xBB};
+  return m;
+}
+
+coding::EncodedMessage sample_coded() {
+  coding::EncodedMessage m;
+  m.file_id = 7;
+  m.message_id = 13;
+  m.payload = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{255}};
+  return m;
+}
+
+coding::AuthenticatedMessage sample_authenticated() {
+  coding::AuthenticatedMessage m;
+  m.message = sample_coded();
+  m.leaf_index = 5;
+  m.proof.resize(3);
+  for (std::size_t p = 0; p < m.proof.size(); ++p)
+    for (std::size_t i = 0; i < 32; ++i)
+      m.proof[p][i] = static_cast<std::uint8_t>(p * 32 + i);
+  return m;
+}
+
+coding::FileInfo sample_info() {
+  coding::FileInfo info;
+  info.file_id = 99;
+  info.original_bytes = 123456;
+  info.params = {gf::FieldId::gf2_16, 4096};
+  info.k = 16;
+  for (std::size_t i = 0; i < info.content_digest.size(); ++i)
+    info.content_digest[i] = static_cast<std::uint8_t>(0x40 + i);
+  for (std::uint64_t mid = 0; mid < 5; ++mid) {
+    crypto::Md5Digest d{};
+    d[0] = static_cast<std::uint8_t>(mid);
+    info.message_digests.emplace(mid * 7, d);
+  }
+  return info;
+}
+
+TEST(Wire, AuthHelloRoundTrip) {
+  const auto m = sample_hello();
+  const auto frame = encode(m);
+  EXPECT_EQ(peek_type(frame), MessageType::auth_hello);
+  const auto back = decode_auth_hello(frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->user_id, m.user_id);
+  EXPECT_EQ(back->user_nonce, m.user_nonce);
+}
+
+TEST(Wire, AuthChallengeRoundTrip) {
+  const auto m = sample_challenge();
+  const auto back = decode_auth_challenge(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->peer_id, m.peer_id);
+  EXPECT_EQ(back->peer_nonce, m.peer_nonce);
+  EXPECT_EQ(back->signature, m.signature);
+}
+
+TEST(Wire, AuthResponseRoundTrip) {
+  const auto m = sample_response();
+  const auto back = decode_auth_response(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->signature, m.signature);
+  EXPECT_EQ(back->encrypted_session_key, m.encrypted_session_key);
+}
+
+TEST(Wire, FileRequestRoundTrip) {
+  const FileRequest m{11, 22, 768.5};
+  const auto back = decode_file_request(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Wire, StopTransmissionRoundTrip) {
+  const StopTransmission m{3, 4};
+  const auto back = decode_stop_transmission(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Wire, CodedMessageRoundTrip) {
+  const auto m = sample_coded();
+  const auto back = decode_coded_message(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->file_id, m.file_id);
+  EXPECT_EQ(back->message_id, m.message_id);
+  EXPECT_EQ(back->payload, m.payload);
+}
+
+TEST(Wire, EmptyPayloadCodedMessage) {
+  coding::EncodedMessage m;
+  m.file_id = 1;
+  m.message_id = 2;
+  const auto back = decode_coded_message(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(Wire, AuthenticatedMessageRoundTrip) {
+  const auto m = sample_authenticated();
+  const auto back = decode_authenticated_message(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->message.payload, m.message.payload);
+  EXPECT_EQ(back->leaf_index, m.leaf_index);
+  EXPECT_EQ(back->proof, m.proof);
+}
+
+TEST(Wire, FileInfoRoundTrip) {
+  const auto info = sample_info();
+  const auto back = decode_file_info(encode(info));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->file_id, info.file_id);
+  EXPECT_EQ(back->original_bytes, info.original_bytes);
+  EXPECT_EQ(back->params.field, info.params.field);
+  EXPECT_EQ(back->params.m, info.params.m);
+  EXPECT_EQ(back->k, info.k);
+  EXPECT_EQ(back->content_digest, info.content_digest);
+  EXPECT_EQ(back->message_digests, info.message_digests);
+}
+
+TEST(Wire, CrossTypeDecodingRejected) {
+  const auto hello = encode(sample_hello());
+  EXPECT_FALSE(decode_auth_challenge(hello).has_value());
+  EXPECT_FALSE(decode_file_request(hello).has_value());
+  EXPECT_FALSE(decode_coded_message(hello).has_value());
+  EXPECT_FALSE(decode_file_info(hello).has_value());
+}
+
+TEST(Wire, EveryTruncationRejected) {
+  const std::vector<std::vector<std::byte>> frames = {
+      encode(sample_hello()),        encode(sample_challenge()),
+      encode(sample_response()),     encode(FileRequest{1, 2, 3.0}),
+      encode(StopTransmission{1, 2}), encode(sample_coded()),
+      encode(sample_authenticated()), encode(sample_info())};
+  for (const auto& frame : frames) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::span<const std::byte> cut(frame.data(), len);
+      const auto type = peek_type(frame);
+      ASSERT_TRUE(type.has_value());
+      bool parsed = false;
+      switch (*type) {
+        case MessageType::auth_hello: parsed = decode_auth_hello(cut).has_value(); break;
+        case MessageType::auth_challenge: parsed = decode_auth_challenge(cut).has_value(); break;
+        case MessageType::auth_response: parsed = decode_auth_response(cut).has_value(); break;
+        case MessageType::file_request: parsed = decode_file_request(cut).has_value(); break;
+        case MessageType::stop_transmission: parsed = decode_stop_transmission(cut).has_value(); break;
+        case MessageType::coded_message: parsed = decode_coded_message(cut).has_value(); break;
+        case MessageType::authenticated_message: parsed = decode_authenticated_message(cut).has_value(); break;
+        case MessageType::file_info: parsed = decode_file_info(cut).has_value(); break;
+      }
+      EXPECT_FALSE(parsed) << "truncation to " << len << " bytes parsed";
+    }
+  }
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  auto frame = encode(sample_coded());
+  frame.push_back(std::byte{0});
+  EXPECT_FALSE(decode_coded_message(frame).has_value());
+}
+
+TEST(Wire, CorruptLengthPrefixesRejectedNotCrash) {
+  // Mutate every byte of a blob-bearing frame; decoding must never crash
+  // and oversized length prefixes must fail cleanly.
+  const auto base = encode(sample_authenticated());
+  sim::SplitMix64 rng(5);
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    auto mutated = base;
+    mutated[pos] ^= std::byte{static_cast<std::uint8_t>(1 + rng.next_below(255))};
+    (void)decode_authenticated_message(mutated);  // must be total
+  }
+  // Specifically blow up the payload length field (offset 17..20).
+  auto huge = base;
+  huge[17] = std::byte{0xFF};
+  huge[18] = std::byte{0xFF};
+  huge[19] = std::byte{0xFF};
+  huge[20] = std::byte{0xFF};
+  EXPECT_FALSE(decode_authenticated_message(huge).has_value());
+}
+
+TEST(Wire, RandomBuffersNeverParseAsAuth) {
+  sim::SplitMix64 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::byte> junk(rng.next_below(120));
+    for (auto& b : junk)
+      b = std::byte{static_cast<std::uint8_t>(rng.next())};
+    if (!junk.empty())
+      junk[0] = std::byte{static_cast<std::uint8_t>(2)};  // claim challenge
+    const auto parsed = decode_auth_challenge(junk);
+    if (parsed) {
+      // Structurally valid by luck is acceptable; the signature still
+      // cannot verify — just ensure no crash and sane sizes.
+      EXPECT_LE(parsed->signature.size(), junk.size());
+    }
+  }
+}
+
+TEST(Wire, PeekTypeRejectsUnknownTags) {
+  EXPECT_FALSE(peek_type({}).has_value());
+  const std::vector<std::byte> unknown{std::byte{0x7F}};
+  EXPECT_FALSE(peek_type(unknown).has_value());
+  const std::vector<std::byte> zero{std::byte{0}};
+  EXPECT_FALSE(peek_type(zero).has_value());
+}
+
+TEST(Wire, FigureThreeLayoutCompatibility) {
+  // EncodedMessage::serialize() is the raw Figure 3 layout (16-byte header
+  // + payload); the framed wire adds 1 type byte + 4 length bytes.
+  const auto m = sample_coded();
+  EXPECT_EQ(encode(m).size(), m.wire_size() + 5);
+}
+
+}  // namespace
+}  // namespace fairshare::p2p::wire

@@ -1,0 +1,100 @@
+// Demand processes I_i(t).
+#include <gtest/gtest.h>
+
+#include "sim/demand.hpp"
+
+namespace fairshare::sim {
+namespace {
+
+TEST(AlwaysNever, Basics) {
+  AlwaysDemand always;
+  NeverDemand never;
+  for (std::uint64_t t : {0ull, 5ull, 1000000ull}) {
+    EXPECT_TRUE(always.requests(t));
+    EXPECT_FALSE(never.requests(t));
+  }
+}
+
+TEST(Bernoulli, EmpiricalRateMatchesGamma) {
+  for (double gamma : {0.1, 0.5, 0.9}) {
+    BernoulliDemand demand(gamma, 42);
+    int hits = 0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t)
+      if (demand.requests(static_cast<std::uint64_t>(t))) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, gamma, 0.02) << gamma;
+  }
+}
+
+TEST(Bernoulli, ExtremeGammas) {
+  BernoulliDemand zero(0.0, 1);
+  BernoulliDemand one(1.0, 1);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_FALSE(zero.requests(static_cast<std::uint64_t>(t)));
+    EXPECT_TRUE(one.requests(static_cast<std::uint64_t>(t)));
+  }
+}
+
+TEST(Interval, RespectsHalfOpenBounds) {
+  IntervalDemand demand({{10, 20}, {30, 31}});
+  EXPECT_FALSE(demand.requests(9));
+  EXPECT_TRUE(demand.requests(10));
+  EXPECT_TRUE(demand.requests(19));
+  EXPECT_FALSE(demand.requests(20));
+  EXPECT_TRUE(demand.requests(30));
+  EXPECT_FALSE(demand.requests(31));
+  EXPECT_FALSE(demand.requests(1000));
+}
+
+TEST(Interval, EmptyNeverRequests) {
+  IntervalDemand demand({});
+  EXPECT_FALSE(demand.requests(0));
+}
+
+TEST(RandomBlocks, ExactlyTwelveOfTwentyFourHoursActive) {
+  // The Figs 6-7 pattern: 12 of 24 one-hour blocks per day.
+  const std::uint64_t hour = 3600;
+  RandomBlocksDemand demand(hour, 24, 12, 7);
+  for (int day = 0; day < 3; ++day) {
+    int active_hours = 0;
+    for (int h = 0; h < 24; ++h) {
+      const std::uint64_t slot =
+          static_cast<std::uint64_t>(day) * 24 * hour +
+          static_cast<std::uint64_t>(h) * hour;
+      // Whole block has a constant value.
+      const bool at_start = demand.requests(slot);
+      EXPECT_EQ(demand.requests(slot + hour - 1), at_start);
+      if (at_start) ++active_hours;
+    }
+    EXPECT_EQ(active_hours, 12) << "day " << day;
+  }
+}
+
+TEST(RandomBlocks, AllBlocksActiveWhenSaturated) {
+  RandomBlocksDemand demand(10, 4, 4, 1);
+  for (std::uint64_t t = 0; t < 40; ++t) EXPECT_TRUE(demand.requests(t));
+}
+
+TEST(RandomBlocks, NoBlocksActiveWhenZero) {
+  RandomBlocksDemand demand(10, 4, 0, 1);
+  for (std::uint64_t t = 0; t < 40; ++t) EXPECT_FALSE(demand.requests(t));
+}
+
+TEST(RandomBlocks, DeterministicForFixedSeed) {
+  RandomBlocksDemand a(100, 24, 12, 99);
+  RandomBlocksDemand b(100, 24, 12, 99);
+  for (std::uint64_t t = 0; t < 24 * 100 * 2; t += 37)
+    EXPECT_EQ(a.requests(t), b.requests(t)) << t;
+}
+
+TEST(RandomBlocks, DifferentSeedsDiffer) {
+  RandomBlocksDemand a(100, 24, 12, 1);
+  RandomBlocksDemand b(100, 24, 12, 2);
+  int differences = 0;
+  for (std::uint64_t t = 0; t < 24 * 100; t += 100)
+    if (a.requests(t) != b.requests(t)) ++differences;
+  EXPECT_GT(differences, 0);
+}
+
+}  // namespace
+}  // namespace fairshare::sim

@@ -1,0 +1,279 @@
+// Property tests of the paper's analytical guarantees (Section IV):
+// Theorem 1's incentive bound and Corollary 1's pairwise fairness, over
+// randomized network configurations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc/policies.hpp"
+#include "sim/metrics.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace fairshare::sim {
+namespace {
+
+struct NetConfig {
+  std::uint64_t seed;
+  std::size_t n;
+};
+
+Simulator random_network(const NetConfig& cfg, double gamma_min,
+                         double gamma_max) {
+  SplitMix64 rng(cfg.seed);
+  std::vector<PeerSetup> peers;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    PeerSetup p;
+    p.upload_kbps = 100.0 + static_cast<double>(rng.next_below(900));
+    const double gamma =
+        gamma_min + (gamma_max - gamma_min) * rng.next_double();
+    p.demand = std::make_shared<BernoulliDemand>(gamma, rng.next());
+    p.policy =
+        std::make_shared<alloc::ProportionalContributionPolicy>(cfg.n, 1.0);
+    peers.push_back(std::move(p));
+  }
+  return Simulator(std::move(peers));
+}
+
+class IncentiveProperty : public ::testing::TestWithParam<NetConfig> {};
+
+TEST_P(IncentiveProperty, Theorem1BoundHoldsForEveryUser) {
+  Simulator sim = random_network(GetParam(), 0.2, 0.9);
+  sim.run(30000);
+  for (std::size_t i = 0; i < sim.n(); ++i) {
+    const IncentiveBound b = incentive_bound(sim, i);
+    // Inequality (12) is asymptotic; allow 3% slack for finite horizon.
+    EXPECT_GE(b.average_download, b.bound * 0.97)
+        << "peer " << i << ": avg " << b.average_download << " vs bound "
+        << b.bound;
+  }
+}
+
+TEST_P(IncentiveProperty, JoiningBeatsIsolation) {
+  // The incentive to join: every user receives at least its isolated
+  // average (Theorem 1's first term).
+  Simulator sim = random_network(GetParam(), 0.2, 0.9);
+  sim.run(30000);
+  for (std::size_t i = 0; i < sim.n(); ++i) {
+    EXPECT_GE(incentive_bound(sim, i).average_download,
+              sim.isolated_average(i) * 0.97)
+        << "peer " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, IncentiveProperty,
+                         ::testing::Values(NetConfig{1, 3}, NetConfig{2, 5},
+                                           NetConfig{3, 8}, NetConfig{4, 10},
+                                           NetConfig{5, 4}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "n" + std::to_string(info.param.n);
+                         });
+
+class SaturatedFairness : public ::testing::TestWithParam<NetConfig> {};
+
+TEST_P(SaturatedFairness, Corollary1PairwiseFairness) {
+  // gamma -> 1: long-run pairwise exchanged bandwidth must equalize.
+  Simulator sim = random_network(GetParam(), 1.0, 1.0);
+  sim.run(20000);
+  EXPECT_LT(pairwise_unfairness(sim), 0.05);
+}
+
+TEST_P(SaturatedFairness, DownloadConvergesToOwnUpload) {
+  // Figure 5: in saturation every user's download converges to its own
+  // upload rate (conservation + pairwise fairness).
+  Simulator sim = random_network(GetParam(), 1.0, 1.0);
+  sim.run(20000);
+  const std::uint64_t t0 = 15000;
+  for (std::size_t i = 0; i < sim.n(); ++i) {
+    const double tail = sim.download(i).mean(t0, sim.now());
+    // Within 10% of mu_i in the measured tail.
+    const double mu = sim.offered(i).at(0);
+    EXPECT_NEAR(tail, mu, 0.10 * mu) << "peer " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, SaturatedFairness,
+                         ::testing::Values(NetConfig{11, 3}, NetConfig{12, 5},
+                                           NetConfig{13, 10}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "n" + std::to_string(info.param.n);
+                         });
+
+TEST(FairnessAdversaries, FreeRiderGainsAlmostNothing) {
+  // A free rider (uploads nothing) in a saturated network should see its
+  // download decay to ~0 while honest peers keep exchanging.
+  const std::size_t n = 5;
+  std::vector<PeerSetup> peers;
+  for (std::size_t i = 0; i < n; ++i) {
+    PeerSetup p;
+    p.upload_kbps = 500;
+    p.demand = std::make_shared<AlwaysDemand>();
+    if (i == 0)
+      p.policy = std::make_shared<alloc::FreeRiderPolicy>();
+    else
+      p.policy =
+          std::make_shared<alloc::ProportionalContributionPolicy>(n, 1.0);
+    peers.push_back(std::move(p));
+  }
+  Simulator sim(std::move(peers));
+  sim.run(20000);
+  const double rider_tail = sim.download(0).mean(15000, sim.now());
+  const double honest_tail = sim.download(1).mean(15000, sim.now());
+  EXPECT_LT(rider_tail, 0.05 * honest_tail);
+  // The rider uploads nothing, so the honest peers simply exchange their
+  // own capacity: ~500 each (no bonus pool exists to redistribute).
+  EXPECT_NEAR(honest_tail, 500.0, 25.0);
+}
+
+TEST(FairnessAdversaries, Theorem1HoldsUnderCoalition) {
+  // Peers 1 and 2 collude (serve only each other); user 0's guarantee
+  // must still hold: at least its isolated bandwidth.
+  const std::size_t n = 4;
+  std::vector<PeerSetup> peers;
+  for (std::size_t i = 0; i < n; ++i) {
+    PeerSetup p;
+    p.upload_kbps = 400;
+    p.demand = std::make_shared<BernoulliDemand>(0.6, 100 + i);
+    if (i == 1 || i == 2)
+      p.policy = std::make_shared<alloc::CoalitionPolicy>(
+          std::vector<std::size_t>{1, 2});
+    else
+      p.policy =
+          std::make_shared<alloc::ProportionalContributionPolicy>(n, 1.0);
+    peers.push_back(std::move(p));
+  }
+  Simulator sim(std::move(peers));
+  sim.run(30000);
+  EXPECT_GE(incentive_bound(sim, 0).average_download,
+            sim.isolated_average(0) * 0.97);
+}
+
+TEST(FairnessAdversaries, LiarGainsNothingUnderEquationTwo) {
+  // Declared capacity is ignored by Equation (2) — a liar's download in
+  // the saturated regime still converges to its true upload.
+  const std::size_t n = 4;
+  std::vector<PeerSetup> peers;
+  for (std::size_t i = 0; i < n; ++i) {
+    PeerSetup p;
+    p.upload_kbps = 300;
+    p.declared_kbps = (i == 0) ? 30000.0 : 300.0;  // peer 0 lies 100x
+    p.demand = std::make_shared<AlwaysDemand>();
+    p.policy =
+        std::make_shared<alloc::ProportionalContributionPolicy>(n, 1.0);
+    peers.push_back(std::move(p));
+  }
+  Simulator sim(std::move(peers));
+  sim.run(10000);
+  EXPECT_NEAR(sim.download(0).mean(8000, sim.now()), 300.0, 15.0);
+}
+
+TEST(FairnessAdversaries, LiarProfitsUnderEquationThree) {
+  // The same lie under the Equation (3) baseline steals bandwidth: this is
+  // the motivating flaw (Section IV-B).
+  const std::size_t n = 4;
+  std::vector<PeerSetup> peers;
+  for (std::size_t i = 0; i < n; ++i) {
+    PeerSetup p;
+    p.upload_kbps = 300;
+    p.declared_kbps = (i == 0) ? 30000.0 : 300.0;
+    p.demand = std::make_shared<AlwaysDemand>();
+    p.policy = std::make_shared<alloc::DeclaredProportionalPolicy>();
+    peers.push_back(std::move(p));
+  }
+  Simulator sim(std::move(peers));
+  sim.run(10000);
+  const double liar = sim.download(0).mean(8000, sim.now());
+  const double honest = sim.download(1).mean(8000, sim.now());
+  EXPECT_GT(liar, 3.0 * honest);
+}
+
+TEST(FairnessDynamics, DecayingLedgerAdaptsFasterToCapacityDrop) {
+  // Ablation A2: after a capacity drop, the decayed ledger re-equalizes
+  // the victim's download faster than the cumulative ledger (the paper's
+  // "slow dynamics" remark).
+  auto build = [](bool decaying) {
+    const std::size_t n = 6;
+    std::vector<PeerSetup> peers;
+    for (std::size_t i = 0; i < n; ++i) {
+      PeerSetup p;
+      p.upload_kbps = 1024;
+      if (i == 0)
+        p.capacity_schedule = [](std::uint64_t t) {
+          return t < 4000 ? 1024.0 : 512.0;
+        };
+      p.demand = std::make_shared<AlwaysDemand>();
+      if (decaying)
+        p.policy = std::make_shared<alloc::DecayingContributionPolicy>(
+            n, 0.995, 1.0);
+      else
+        p.policy =
+            std::make_shared<alloc::ProportionalContributionPolicy>(n, 1.0);
+      peers.push_back(std::move(p));
+    }
+    return Simulator(std::move(peers));
+  };
+
+  Simulator cumulative = build(false);
+  cumulative.run(6000);
+  Simulator decaying = build(true);
+  decaying.run(6000);
+
+  // Shortly after the drop the decayed system should be closer to the new
+  // fair point (512) for peer 0 than the cumulative system is.
+  const double cum_gap =
+      std::abs(cumulative.download(0).mean(5500, 6000) - 512.0);
+  const double dec_gap =
+      std::abs(decaying.download(0).mean(5500, 6000) - 512.0);
+  EXPECT_LT(dec_gap, cum_gap);
+}
+
+TEST(Equation3Analysis, JensenLowerBoundHoldsAndIsNearTight) {
+  // Section IV-B derives E[download_j] >= gamma_j mu_j sum mu_i /
+  // (mu_j + sum_{l!=j} gamma_l mu_l) for the declared-proportional scheme.
+  // Simulate it with truthful declarations and verify bound + tightness.
+  SplitMix64 rng(77);
+  for (int config = 0; config < 4; ++config) {
+    const std::size_t n = 6 + 2 * static_cast<std::size_t>(config);
+    std::vector<double> mu(n), gamma(n);
+    std::vector<PeerSetup> peers;
+    for (std::size_t i = 0; i < n; ++i) {
+      mu[i] = 100.0 + static_cast<double>(rng.next_below(600));
+      gamma[i] = 0.3 + 0.6 * rng.next_double();
+      PeerSetup p;
+      p.upload_kbps = mu[i];
+      p.demand = std::make_shared<BernoulliDemand>(gamma[i], rng.next());
+      p.policy = std::make_shared<alloc::DeclaredProportionalPolicy>();
+      peers.push_back(std::move(p));
+    }
+    Simulator sim(std::move(peers));
+    sim.run(40000);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double bound = eq3_download_lower_bound(mu, gamma, j);
+      const double measured = sim.average_download(j);
+      EXPECT_GE(measured, 0.95 * bound)
+          << "config " << config << " peer " << j;
+      // Jensen is not wildly loose here: measured within 35% above bound.
+      EXPECT_LE(measured, 1.35 * bound)
+          << "config " << config << " peer " << j;
+    }
+  }
+}
+
+TEST(Equation3Analysis, BoundExceedsIsolationUnlessSaturated) {
+  // The Section IV-B observation: the bound is "strictly larger than
+  // gamma_j mu_j unless gamma_l = 1 for all other users l".
+  const std::vector<double> mu{200, 300, 400};
+  const std::vector<double> gamma_mixed{0.5, 0.7, 0.9};
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_GT(eq3_download_lower_bound(mu, gamma_mixed, j),
+              gamma_mixed[j] * mu[j]);
+  const std::vector<double> gamma_sat{0.5, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(eq3_download_lower_bound(mu, gamma_sat, 0),
+                   0.5 * mu[0] * (200 + 300 + 400) / (200 + 300 + 400));
+}
+
+}  // namespace
+}  // namespace fairshare::sim

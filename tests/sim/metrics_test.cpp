@@ -1,0 +1,107 @@
+// Unit tests for the fairness metrics (the Theorem 1 / Corollary 1
+// measurement machinery itself).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/policies.hpp"
+#include "sim/metrics.hpp"
+
+namespace fairshare::sim {
+namespace {
+
+PeerSetup eq2_peer(double kbps, std::size_t n) {
+  PeerSetup p;
+  p.upload_kbps = kbps;
+  p.demand = std::make_shared<AlwaysDemand>();
+  p.policy = std::make_shared<alloc::ProportionalContributionPolicy>(n, 1.0);
+  return p;
+}
+
+TEST(JainIndex, PerfectEqualityIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({1}), 1.0);
+}
+
+TEST(JainIndex, AllZerosConventionallyOne) {
+  EXPECT_DOUBLE_EQ(jain_index({0, 0, 0}), 1.0);
+}
+
+TEST(JainIndex, KnownUnfairValue) {
+  // One user hogging everything among n: index = 1/n.
+  EXPECT_NEAR(jain_index({1, 0, 0, 0}), 0.25, 1e-12);
+  // Classic two-value case: {1, 3} -> (4^2)/(2*10) = 0.8.
+  EXPECT_NEAR(jain_index({1, 3}), 0.8, 1e-12);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  EXPECT_NEAR(jain_index({1, 2, 3}), jain_index({10, 20, 30}), 1e-12);
+}
+
+TEST(PairwiseUnfairness, SymmetricExchangeIsZero) {
+  std::vector<PeerSetup> peers;
+  for (int i = 0; i < 3; ++i) peers.push_back(eq2_peer(300, 3));
+  Simulator sim(std::move(peers));
+  sim.run(2000);
+  EXPECT_LT(pairwise_unfairness(sim), 1e-6);  // symmetric setup: exact
+}
+
+TEST(PairwiseUnfairness, DetectsOneSidedFlows) {
+  // Peer 0 never requests: it gives but never receives -> S_01 > 0,
+  // S_10 = 0, a maximal pairwise asymmetry.
+  std::vector<PeerSetup> peers;
+  auto giver = eq2_peer(300, 2);
+  giver.demand = std::make_shared<NeverDemand>();
+  peers.push_back(std::move(giver));
+  peers.push_back(eq2_peer(300, 2));
+  Simulator sim(std::move(peers));
+  sim.run(500);
+  EXPECT_GT(pairwise_unfairness(sim), 1.0);
+}
+
+TEST(PairwiseMatrix, MatchesContributionAverages) {
+  std::vector<PeerSetup> peers;
+  for (int i = 0; i < 3; ++i) peers.push_back(eq2_peer(100 + 100 * i, 3));
+  Simulator sim(std::move(peers));
+  sim.run(100);
+  const auto m = pairwise_matrix(sim);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(m[i * 3 + j], sim.average_pairwise(i, j));
+}
+
+TEST(IncentiveBound, SaturatedNetworkBoundIsTight) {
+  // gamma = 1 everywhere: free bandwidth term vanishes, bound = isolated
+  // = mu, and measured = mu too.
+  std::vector<PeerSetup> peers;
+  for (int i = 0; i < 4; ++i) peers.push_back(eq2_peer(400, 4));
+  Simulator sim(std::move(peers));
+  sim.run(2000);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const IncentiveBound b = incentive_bound(sim, i);
+    EXPECT_NEAR(b.isolated, 400.0, 1e-9);
+    EXPECT_NEAR(b.bound, 400.0, 1e-9);  // (1 - gamma_l) = 0 kills the sum
+    EXPECT_NEAR(b.average_download, 400.0, 1e-6);
+    EXPECT_TRUE(b.holds());
+  }
+}
+
+TEST(IncentiveBound, FreeBandwidthTermAppearsWhenOthersIdle) {
+  // Peer 1 contributes but never downloads (gamma = 0): peer 0's bound
+  // includes (1 - 0) * mu_bar_10 — everything peer 1 gave it.
+  std::vector<PeerSetup> peers;
+  peers.push_back(eq2_peer(200, 2));
+  auto idle = eq2_peer(200, 2);
+  idle.demand = std::make_shared<NeverDemand>();
+  peers.push_back(std::move(idle));
+  Simulator sim(std::move(peers));
+  sim.run(1000);
+  const IncentiveBound b = incentive_bound(sim, 0);
+  EXPECT_NEAR(b.isolated, 200.0, 1e-9);
+  EXPECT_NEAR(b.bound, 400.0, 1.0);  // isolated + peer 1's whole upload
+  EXPECT_NEAR(b.average_download, 400.0, 1e-6);
+  EXPECT_TRUE(b.holds());
+}
+
+}  // namespace
+}  // namespace fairshare::sim

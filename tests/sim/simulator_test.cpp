@@ -1,0 +1,178 @@
+// Engine mechanics: conservation, physics enforcement, schedules, gates,
+// quantization.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace fairshare::sim {
+namespace {
+
+PeerSetup eq2_peer(double kbps, std::size_t n, double epsilon = 1.0) {
+  PeerSetup p;
+  p.upload_kbps = kbps;
+  p.demand = std::make_shared<AlwaysDemand>();
+  p.policy =
+      std::make_shared<alloc::ProportionalContributionPolicy>(n, epsilon);
+  return p;
+}
+
+TEST(Simulator, BandwidthConservation) {
+  // Total download == total offered upload when everyone requests.
+  std::vector<PeerSetup> peers;
+  for (double u : {100.0, 200.0, 300.0}) peers.push_back(eq2_peer(u, 3));
+  Simulator sim(std::move(peers));
+  sim.run(50);
+  for (std::size_t t = 0; t < 50; ++t) {
+    double down = 0, up = 0;
+    for (std::size_t i = 0; i < sim.n(); ++i) {
+      down += sim.download(i).at(t);
+      up += sim.offered(i).at(t);
+    }
+    EXPECT_NEAR(down, up, 1e-9) << "slot " << t;
+  }
+}
+
+TEST(Simulator, ContributionMatrixMatchesDownloads) {
+  std::vector<PeerSetup> peers;
+  for (double u : {150.0, 450.0}) peers.push_back(eq2_peer(u, 2));
+  Simulator sim(std::move(peers));
+  sim.run(100);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double via_matrix =
+        sim.contribution(0, j) + sim.contribution(1, j);
+    double via_trace = 0;
+    for (std::size_t t = 0; t < 100; ++t) via_trace += sim.download(j).at(t);
+    EXPECT_NEAR(via_matrix, via_trace, 1e-9);
+  }
+}
+
+// A policy that tries to allocate more than the peer's capacity and to
+// serve idle users; the engine must clamp both.
+class OverAllocatingPolicy final : public alloc::AllocationPolicy {
+ public:
+  void allocate(const alloc::PeerContext& ctx,
+                std::span<double> out) override {
+    for (auto& v : out) v = ctx.capacity;  // n * capacity total, everyone
+  }
+};
+
+TEST(Simulator, EngineClampsOverAllocation) {
+  std::vector<PeerSetup> peers;
+  peers.push_back(eq2_peer(100, 2));
+  PeerSetup cheat;
+  cheat.upload_kbps = 100;
+  cheat.demand = std::make_shared<NeverDemand>();  // idle user
+  cheat.policy = std::make_shared<OverAllocatingPolicy>();
+  peers.push_back(std::move(cheat));
+  Simulator sim(std::move(peers));
+  sim.run(10);
+  for (std::size_t t = 0; t < 10; ++t) {
+    // Peer 1 offered 100; its total giving cannot exceed that, and the
+    // idle user 1 must receive nothing.
+    EXPECT_LE(sim.download(0).at(t), 200.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(sim.download(1).at(t), 0.0);
+  }
+  EXPECT_NEAR(sim.contribution(1, 0), 10 * 100.0, 1e-6);
+}
+
+// A policy returning negative allocations; engine must zero them.
+class NegativePolicy final : public alloc::AllocationPolicy {
+ public:
+  void allocate(const alloc::PeerContext&, std::span<double> out) override {
+    for (auto& v : out) v = -50.0;
+  }
+};
+
+TEST(Simulator, NegativeAllocationsZeroed) {
+  std::vector<PeerSetup> peers;
+  PeerSetup p;
+  p.upload_kbps = 100;
+  p.demand = std::make_shared<AlwaysDemand>();
+  p.policy = std::make_shared<NegativePolicy>();
+  peers.push_back(std::move(p));
+  peers.push_back(eq2_peer(100, 2));
+  Simulator sim(std::move(peers));
+  sim.run(5);
+  for (std::size_t t = 0; t < 5; ++t)
+    EXPECT_GE(sim.download(0).at(t), 0.0);
+}
+
+TEST(Simulator, CapacityScheduleOverridesBaseline) {
+  std::vector<PeerSetup> peers;
+  auto p = eq2_peer(1000, 2);
+  p.capacity_schedule = [](std::uint64_t t) {
+    return t < 5 ? 1000.0 : 500.0;
+  };
+  peers.push_back(std::move(p));
+  peers.push_back(eq2_peer(1000, 2));
+  Simulator sim(std::move(peers));
+  sim.run(10);
+  EXPECT_DOUBLE_EQ(sim.offered(0).at(0), 1000.0);
+  EXPECT_DOUBLE_EQ(sim.offered(0).at(7), 500.0);
+}
+
+TEST(Simulator, ContributionGateSilencesPeer) {
+  std::vector<PeerSetup> peers;
+  auto p = eq2_peer(1000, 2);
+  p.contributes = [](std::uint64_t t) { return t >= 3; };
+  peers.push_back(std::move(p));
+  peers.push_back(eq2_peer(1000, 2));
+  Simulator sim(std::move(peers));
+  sim.run(6);
+  EXPECT_DOUBLE_EQ(sim.offered(0).at(0), 0.0);
+  EXPECT_DOUBLE_EQ(sim.offered(0).at(3), 1000.0);
+  // While gated, peer 0 contributed nothing to anyone: user 1's download
+  // at slot 0 is only peer 1's equal split between the two requesters.
+  EXPECT_DOUBLE_EQ(sim.download(1).at(0), 500.0);
+  EXPECT_DOUBLE_EQ(sim.download(0).at(0), 500.0);
+}
+
+TEST(Simulator, QuantizationFloorsAllocations) {
+  SimConfig config;
+  config.quantum_kbps = 30.0;
+  std::vector<PeerSetup> peers;
+  for (int i = 0; i < 3; ++i) peers.push_back(eq2_peer(100, 3));
+  Simulator sim(std::move(peers), config);
+  sim.run(5);
+  // Equal split would be 33.3 each; quantized to 30.
+  EXPECT_NEAR(sim.download(0).at(0), 90.0, 1e-9);
+}
+
+TEST(Simulator, EmpiricalGammaTracksDemand) {
+  std::vector<PeerSetup> peers;
+  auto p = eq2_peer(100, 2);
+  p.demand = std::make_shared<BernoulliDemand>(0.3, 11);
+  peers.push_back(std::move(p));
+  peers.push_back(eq2_peer(100, 2));
+  Simulator sim(std::move(peers));
+  sim.run(5000);
+  EXPECT_NEAR(sim.empirical_gamma(0), 0.3, 0.03);
+  EXPECT_DOUBLE_EQ(sim.empirical_gamma(1), 1.0);
+}
+
+TEST(Simulator, IsolatedAverageUsesRealizedDemand) {
+  std::vector<PeerSetup> peers;
+  auto p = eq2_peer(200, 2);
+  p.demand = std::make_shared<IntervalDemand>(
+      std::vector<IntervalDemand::Interval>{{0, 50}});
+  peers.push_back(std::move(p));
+  peers.push_back(eq2_peer(100, 2));
+  Simulator sim(std::move(peers));
+  sim.run(100);
+  // Requested half the time at 200 kbps capacity.
+  EXPECT_NEAR(sim.isolated_average(0), 100.0, 1e-9);
+}
+
+TEST(Simulator, SingleSaturatedPeerKeepsOwnBandwidth) {
+  std::vector<PeerSetup> peers;
+  peers.push_back(eq2_peer(640, 1));
+  Simulator sim(std::move(peers));
+  sim.run(20);
+  EXPECT_NEAR(sim.average_download(0), 640.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fairshare::sim

@@ -1,0 +1,67 @@
+// Trace accumulation and smoothing.
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+
+namespace fairshare::sim {
+namespace {
+
+TEST(Trace, AppendAndAccess) {
+  Trace t;
+  EXPECT_EQ(t.size(), 0u);
+  t.append(1.0);
+  t.append(2.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1), 2.0);
+}
+
+TEST(Trace, MeanOverRanges) {
+  Trace t;
+  for (int i = 1; i <= 4; ++i) t.append(i);
+  EXPECT_DOUBLE_EQ(t.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(t.mean(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(t.mean(2, 4), 3.5);
+  EXPECT_DOUBLE_EQ(t.mean(3, 3), 0.0);    // empty range
+  EXPECT_DOUBLE_EQ(t.mean(2, 100), 3.5);  // end clamped
+}
+
+TEST(Trace, MeanOfEmptyTraceIsZero) {
+  Trace t;
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(Trace, SmoothedWindowOneIsIdentity) {
+  Trace t;
+  for (double v : {3.0, 1.0, 4.0, 1.0, 5.0}) t.append(v);
+  const auto s = t.smoothed(1);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(s[i], t.at(i));
+}
+
+TEST(Trace, SmoothedRunningAverage) {
+  Trace t;
+  for (double v : {2.0, 4.0, 6.0, 8.0}) t.append(v);
+  const auto s = t.smoothed(2);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);  // partial window
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+  EXPECT_DOUBLE_EQ(s[2], 5.0);
+  EXPECT_DOUBLE_EQ(s[3], 7.0);
+}
+
+TEST(Trace, SmoothedConstantSeriesUnchanged) {
+  Trace t;
+  for (int i = 0; i < 50; ++i) t.append(7.5);
+  for (double v : t.smoothed(10)) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(Trace, SmoothedWindowLargerThanSeries) {
+  Trace t;
+  t.append(1.0);
+  t.append(3.0);
+  const auto s = t.smoothed(100);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+}
+
+}  // namespace
+}  // namespace fairshare::sim
