@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decoder_strategy.dir/ablation_decoder_strategy.cpp.o"
+  "CMakeFiles/ablation_decoder_strategy.dir/ablation_decoder_strategy.cpp.o.d"
+  "ablation_decoder_strategy"
+  "ablation_decoder_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decoder_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_decoder_strategy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fountain.dir/ablation_fountain.cpp.o"
+  "CMakeFiles/ablation_fountain.dir/ablation_fountain.cpp.o.d"
+  "ablation_fountain"
+  "ablation_fountain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fountain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

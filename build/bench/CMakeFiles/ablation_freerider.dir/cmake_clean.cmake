@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_freerider.dir/ablation_freerider.cpp.o"
+  "CMakeFiles/ablation_freerider.dir/ablation_freerider.cpp.o.d"
+  "ablation_freerider"
+  "ablation_freerider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_freerider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_incentive_bound.dir/ablation_incentive_bound.cpp.o"
+  "CMakeFiles/ablation_incentive_bound.dir/ablation_incentive_bound.cpp.o.d"
+  "ablation_incentive_bound"
+  "ablation_incentive_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_incentive_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

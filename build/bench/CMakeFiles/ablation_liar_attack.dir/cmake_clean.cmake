@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_liar_attack.dir/ablation_liar_attack.cpp.o"
+  "CMakeFiles/ablation_liar_attack.dir/ablation_liar_attack.cpp.o.d"
+  "ablation_liar_attack"
+  "ablation_liar_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_liar_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

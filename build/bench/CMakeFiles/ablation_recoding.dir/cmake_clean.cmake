@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recoding.dir/ablation_recoding.cpp.o"
+  "CMakeFiles/ablation_recoding.dir/ablation_recoding.cpp.o.d"
+  "ablation_recoding"
+  "ablation_recoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dht_scaling.dir/ext_dht_scaling.cpp.o"
+  "CMakeFiles/ext_dht_scaling.dir/ext_dht_scaling.cpp.o.d"
+  "ext_dht_scaling"
+  "ext_dht_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dht_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

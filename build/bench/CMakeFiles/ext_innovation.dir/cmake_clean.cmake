@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_innovation.dir/ext_innovation.cpp.o"
+  "CMakeFiles/ext_innovation.dir/ext_innovation.cpp.o.d"
+  "ext_innovation"
+  "ext_innovation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_innovation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

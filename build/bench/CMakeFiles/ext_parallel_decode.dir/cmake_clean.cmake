@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parallel_decode.dir/ext_parallel_decode.cpp.o"
+  "CMakeFiles/ext_parallel_decode.dir/ext_parallel_decode.cpp.o.d"
+  "ext_parallel_decode"
+  "ext_parallel_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parallel_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

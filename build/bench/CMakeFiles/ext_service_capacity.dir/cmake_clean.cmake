@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_service_capacity.dir/ext_service_capacity.cpp.o"
+  "CMakeFiles/ext_service_capacity.dir/ext_service_capacity.cpp.o.d"
+  "ext_service_capacity"
+  "ext_service_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_service_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

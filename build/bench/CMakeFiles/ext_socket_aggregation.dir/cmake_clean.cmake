@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_socket_aggregation.dir/ext_socket_aggregation.cpp.o"
+  "CMakeFiles/ext_socket_aggregation.dir/ext_socket_aggregation.cpp.o.d"
+  "ext_socket_aggregation"
+  "ext_socket_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_socket_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

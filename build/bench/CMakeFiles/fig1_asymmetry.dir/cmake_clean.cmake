@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_asymmetry.dir/fig1_asymmetry.cpp.o"
+  "CMakeFiles/fig1_asymmetry.dir/fig1_asymmetry.cpp.o.d"
+  "fig1_asymmetry"
+  "fig1_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

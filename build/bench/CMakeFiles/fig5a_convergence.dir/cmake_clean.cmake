@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_convergence.dir/fig5a_convergence.cpp.o"
+  "CMakeFiles/fig5a_convergence.dir/fig5a_convergence.cpp.o.d"
+  "fig5a_convergence"
+  "fig5a_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_dominant.dir/fig5b_dominant.cpp.o"
+  "CMakeFiles/fig5b_dominant.dir/fig5b_dominant.cpp.o.d"
+  "fig5b_dominant"
+  "fig5b_dominant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_dominant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_duty_cycle.dir/fig6_duty_cycle.cpp.o"
+  "CMakeFiles/fig6_duty_cycle.dir/fig6_duty_cycle.cpp.o.d"
+  "fig6_duty_cycle"
+  "fig6_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

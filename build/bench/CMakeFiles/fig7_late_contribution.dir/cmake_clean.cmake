@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_late_contribution.dir/fig7_late_contribution.cpp.o"
+  "CMakeFiles/fig7_late_contribution.dir/fig7_late_contribution.cpp.o.d"
+  "fig7_late_contribution"
+  "fig7_late_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_late_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_idle_incentive.dir/fig8a_idle_incentive.cpp.o"
+  "CMakeFiles/fig8a_idle_incentive.dir/fig8a_idle_incentive.cpp.o.d"
+  "fig8a_idle_incentive"
+  "fig8a_idle_incentive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_idle_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

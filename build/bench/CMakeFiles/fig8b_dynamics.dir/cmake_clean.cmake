@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_dynamics.dir/fig8b_dynamics.cpp.o"
+  "CMakeFiles/fig8b_dynamics.dir/fig8b_dynamics.cpp.o.d"
+  "fig8b_dynamics"
+  "fig8b_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

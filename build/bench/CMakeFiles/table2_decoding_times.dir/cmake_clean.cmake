@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_decoding_times.dir/table2_decoding_times.cpp.o"
+  "CMakeFiles/table2_decoding_times.dir/table2_decoding_times.cpp.o.d"
+  "table2_decoding_times"
+  "table2_decoding_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_decoding_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

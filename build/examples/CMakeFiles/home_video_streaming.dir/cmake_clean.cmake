@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_video_streaming.dir/home_video_streaming.cpp.o"
+  "CMakeFiles/home_video_streaming.dir/home_video_streaming.cpp.o.d"
+  "home_video_streaming"
+  "home_video_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_video_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

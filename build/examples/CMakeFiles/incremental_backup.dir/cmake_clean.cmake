@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_backup.dir/incremental_backup.cpp.o"
+  "CMakeFiles/incremental_backup.dir/incremental_backup.cpp.o.d"
+  "incremental_backup"
+  "incremental_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localhost_swarm.dir/localhost_swarm.cpp.o"
+  "CMakeFiles/localhost_swarm.dir/localhost_swarm.cpp.o.d"
+  "localhost_swarm"
+  "localhost_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localhost_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_peers.dir/malicious_peers.cpp.o"
+  "CMakeFiles/malicious_peers.dir/malicious_peers.cpp.o.d"
+  "malicious_peers"
+  "malicious_peers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_peers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

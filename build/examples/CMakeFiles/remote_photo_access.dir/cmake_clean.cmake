@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_photo_access.dir/remote_photo_access.cpp.o"
+  "CMakeFiles/remote_photo_access.dir/remote_photo_access.cpp.o.d"
+  "remote_photo_access"
+  "remote_photo_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_photo_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

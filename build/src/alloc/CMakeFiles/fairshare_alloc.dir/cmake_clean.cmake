@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_alloc.dir/policies.cpp.o"
+  "CMakeFiles/fairshare_alloc.dir/policies.cpp.o.d"
+  "libfairshare_alloc.a"
+  "libfairshare_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

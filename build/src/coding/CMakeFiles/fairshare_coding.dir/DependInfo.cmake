@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/batch_decoder.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/batch_decoder.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/batch_decoder.cpp.o.d"
+  "/root/repo/src/coding/chunker.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/chunker.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/chunker.cpp.o.d"
+  "/root/repo/src/coding/coefficients.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/coefficients.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/coefficients.cpp.o.d"
+  "/root/repo/src/coding/decoder.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/decoder.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/decoder.cpp.o.d"
+  "/root/repo/src/coding/encoder.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/encoder.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/encoder.cpp.o.d"
+  "/root/repo/src/coding/fountain.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/fountain.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/fountain.cpp.o.d"
+  "/root/repo/src/coding/merkle_auth.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/merkle_auth.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/merkle_auth.cpp.o.d"
+  "/root/repo/src/coding/message.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/message.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/message.cpp.o.d"
+  "/root/repo/src/coding/params.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/params.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/params.cpp.o.d"
+  "/root/repo/src/coding/recoding.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/recoding.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/recoding.cpp.o.d"
+  "/root/repo/src/coding/update.cpp" "src/coding/CMakeFiles/fairshare_coding.dir/update.cpp.o" "gcc" "src/coding/CMakeFiles/fairshare_coding.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/fairshare_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fairshare_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fairshare_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fairshare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

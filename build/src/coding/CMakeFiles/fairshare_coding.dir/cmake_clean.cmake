@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_coding.dir/batch_decoder.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/batch_decoder.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/chunker.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/chunker.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/coefficients.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/coefficients.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/decoder.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/decoder.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/encoder.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/encoder.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/fountain.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/fountain.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/merkle_auth.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/merkle_auth.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/message.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/message.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/params.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/params.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/recoding.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/recoding.cpp.o.d"
+  "CMakeFiles/fairshare_coding.dir/update.cpp.o"
+  "CMakeFiles/fairshare_coding.dir/update.cpp.o.d"
+  "libfairshare_coding.a"
+  "libfairshare_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_core.dir/scenario.cpp.o"
+  "CMakeFiles/fairshare_core.dir/scenario.cpp.o.d"
+  "libfairshare_core.a"
+  "libfairshare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_crypto.dir/auth.cpp.o"
+  "CMakeFiles/fairshare_crypto.dir/auth.cpp.o.d"
+  "CMakeFiles/fairshare_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/fairshare_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/fairshare_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/fairshare_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/fairshare_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/fairshare_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/fairshare_crypto.dir/md5.cpp.o"
+  "CMakeFiles/fairshare_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/fairshare_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/fairshare_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/fairshare_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/fairshare_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/fairshare_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/fairshare_crypto.dir/sha256.cpp.o.d"
+  "libfairshare_crypto.a"
+  "libfairshare_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

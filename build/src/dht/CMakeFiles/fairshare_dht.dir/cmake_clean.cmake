@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_dht.dir/chord.cpp.o"
+  "CMakeFiles/fairshare_dht.dir/chord.cpp.o.d"
+  "libfairshare_dht.a"
+  "libfairshare_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfairshare_dht.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/field.cpp" "src/gf/CMakeFiles/fairshare_gf.dir/field.cpp.o" "gcc" "src/gf/CMakeFiles/fairshare_gf.dir/field.cpp.o.d"
+  "/root/repo/src/gf/polynomial.cpp" "src/gf/CMakeFiles/fairshare_gf.dir/polynomial.cpp.o" "gcc" "src/gf/CMakeFiles/fairshare_gf.dir/polynomial.cpp.o.d"
+  "/root/repo/src/gf/row_ops.cpp" "src/gf/CMakeFiles/fairshare_gf.dir/row_ops.cpp.o" "gcc" "src/gf/CMakeFiles/fairshare_gf.dir/row_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_gf.dir/field.cpp.o"
+  "CMakeFiles/fairshare_gf.dir/field.cpp.o.d"
+  "CMakeFiles/fairshare_gf.dir/polynomial.cpp.o"
+  "CMakeFiles/fairshare_gf.dir/polynomial.cpp.o.d"
+  "CMakeFiles/fairshare_gf.dir/row_ops.cpp.o"
+  "CMakeFiles/fairshare_gf.dir/row_ops.cpp.o.d"
+  "libfairshare_gf.a"
+  "libfairshare_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

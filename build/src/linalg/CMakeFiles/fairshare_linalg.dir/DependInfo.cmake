@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/fairshare_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/fairshare_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/parallel_ops.cpp" "src/linalg/CMakeFiles/fairshare_linalg.dir/parallel_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/fairshare_linalg.dir/parallel_ops.cpp.o.d"
+  "/root/repo/src/linalg/progressive.cpp" "src/linalg/CMakeFiles/fairshare_linalg.dir/progressive.cpp.o" "gcc" "src/linalg/CMakeFiles/fairshare_linalg.dir/progressive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/fairshare_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fairshare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/fairshare_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/fairshare_linalg.dir/parallel_ops.cpp.o"
+  "CMakeFiles/fairshare_linalg.dir/parallel_ops.cpp.o.d"
+  "CMakeFiles/fairshare_linalg.dir/progressive.cpp.o"
+  "CMakeFiles/fairshare_linalg.dir/progressive.cpp.o.d"
+  "libfairshare_linalg.a"
+  "libfairshare_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_net.dir/download_client.cpp.o"
+  "CMakeFiles/fairshare_net.dir/download_client.cpp.o.d"
+  "CMakeFiles/fairshare_net.dir/peer_server.cpp.o"
+  "CMakeFiles/fairshare_net.dir/peer_server.cpp.o.d"
+  "CMakeFiles/fairshare_net.dir/socket.cpp.o"
+  "CMakeFiles/fairshare_net.dir/socket.cpp.o.d"
+  "libfairshare_net.a"
+  "libfairshare_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/persistence.cpp" "src/p2p/CMakeFiles/fairshare_p2p.dir/persistence.cpp.o" "gcc" "src/p2p/CMakeFiles/fairshare_p2p.dir/persistence.cpp.o.d"
+  "/root/repo/src/p2p/store.cpp" "src/p2p/CMakeFiles/fairshare_p2p.dir/store.cpp.o" "gcc" "src/p2p/CMakeFiles/fairshare_p2p.dir/store.cpp.o.d"
+  "/root/repo/src/p2p/system.cpp" "src/p2p/CMakeFiles/fairshare_p2p.dir/system.cpp.o" "gcc" "src/p2p/CMakeFiles/fairshare_p2p.dir/system.cpp.o.d"
+  "/root/repo/src/p2p/wire.cpp" "src/p2p/CMakeFiles/fairshare_p2p.dir/wire.cpp.o" "gcc" "src/p2p/CMakeFiles/fairshare_p2p.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coding/CMakeFiles/fairshare_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/fairshare_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fairshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fairshare_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/fairshare_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fairshare_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fairshare_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fairshare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_p2p.dir/persistence.cpp.o"
+  "CMakeFiles/fairshare_p2p.dir/persistence.cpp.o.d"
+  "CMakeFiles/fairshare_p2p.dir/store.cpp.o"
+  "CMakeFiles/fairshare_p2p.dir/store.cpp.o.d"
+  "CMakeFiles/fairshare_p2p.dir/system.cpp.o"
+  "CMakeFiles/fairshare_p2p.dir/system.cpp.o.d"
+  "CMakeFiles/fairshare_p2p.dir/wire.cpp.o"
+  "CMakeFiles/fairshare_p2p.dir/wire.cpp.o.d"
+  "libfairshare_p2p.a"
+  "libfairshare_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

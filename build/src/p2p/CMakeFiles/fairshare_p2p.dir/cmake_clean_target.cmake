@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfairshare_p2p.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_sim.dir/demand.cpp.o"
+  "CMakeFiles/fairshare_sim.dir/demand.cpp.o.d"
+  "CMakeFiles/fairshare_sim.dir/metrics.cpp.o"
+  "CMakeFiles/fairshare_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/fairshare_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fairshare_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fairshare_sim.dir/trace.cpp.o"
+  "CMakeFiles/fairshare_sim.dir/trace.cpp.o.d"
+  "libfairshare_sim.a"
+  "libfairshare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fairshare_util.dir/thread_pool.cpp.o.d"
+  "libfairshare_util.a"
+  "libfairshare_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

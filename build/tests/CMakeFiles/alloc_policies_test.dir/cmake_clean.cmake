@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_policies_test.dir/alloc/policies_test.cpp.o"
+  "CMakeFiles/alloc_policies_test.dir/alloc/policies_test.cpp.o.d"
+  "alloc_policies_test"
+  "alloc_policies_test.pdb"
+  "alloc_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

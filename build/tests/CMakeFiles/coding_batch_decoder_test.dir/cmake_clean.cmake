@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_batch_decoder_test.dir/coding/batch_decoder_test.cpp.o"
+  "CMakeFiles/coding_batch_decoder_test.dir/coding/batch_decoder_test.cpp.o.d"
+  "coding_batch_decoder_test"
+  "coding_batch_decoder_test.pdb"
+  "coding_batch_decoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_batch_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

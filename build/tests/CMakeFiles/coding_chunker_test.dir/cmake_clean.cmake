@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_chunker_test.dir/coding/chunker_test.cpp.o"
+  "CMakeFiles/coding_chunker_test.dir/coding/chunker_test.cpp.o.d"
+  "coding_chunker_test"
+  "coding_chunker_test.pdb"
+  "coding_chunker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_chunker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

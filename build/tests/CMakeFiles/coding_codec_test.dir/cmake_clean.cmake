@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_codec_test.dir/coding/codec_test.cpp.o"
+  "CMakeFiles/coding_codec_test.dir/coding/codec_test.cpp.o.d"
+  "coding_codec_test"
+  "coding_codec_test.pdb"
+  "coding_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

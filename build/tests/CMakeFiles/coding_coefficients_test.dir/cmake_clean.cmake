@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_coefficients_test.dir/coding/coefficients_test.cpp.o"
+  "CMakeFiles/coding_coefficients_test.dir/coding/coefficients_test.cpp.o.d"
+  "coding_coefficients_test"
+  "coding_coefficients_test.pdb"
+  "coding_coefficients_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_coefficients_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_encoder_test.dir/coding/encoder_test.cpp.o"
+  "CMakeFiles/coding_encoder_test.dir/coding/encoder_test.cpp.o.d"
+  "coding_encoder_test"
+  "coding_encoder_test.pdb"
+  "coding_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_fountain_test.dir/coding/fountain_test.cpp.o"
+  "CMakeFiles/coding_fountain_test.dir/coding/fountain_test.cpp.o.d"
+  "coding_fountain_test"
+  "coding_fountain_test.pdb"
+  "coding_fountain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_fountain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

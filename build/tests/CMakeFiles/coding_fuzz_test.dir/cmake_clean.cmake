@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_fuzz_test.dir/coding/fuzz_test.cpp.o"
+  "CMakeFiles/coding_fuzz_test.dir/coding/fuzz_test.cpp.o.d"
+  "coding_fuzz_test"
+  "coding_fuzz_test.pdb"
+  "coding_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_merkle_auth_test.dir/coding/merkle_auth_test.cpp.o"
+  "CMakeFiles/coding_merkle_auth_test.dir/coding/merkle_auth_test.cpp.o.d"
+  "coding_merkle_auth_test"
+  "coding_merkle_auth_test.pdb"
+  "coding_merkle_auth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_merkle_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

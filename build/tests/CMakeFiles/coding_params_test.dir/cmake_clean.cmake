@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_params_test.dir/coding/params_test.cpp.o"
+  "CMakeFiles/coding_params_test.dir/coding/params_test.cpp.o.d"
+  "coding_params_test"
+  "coding_params_test.pdb"
+  "coding_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

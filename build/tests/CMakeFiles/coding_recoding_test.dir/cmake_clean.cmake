@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_recoding_test.dir/coding/recoding_test.cpp.o"
+  "CMakeFiles/coding_recoding_test.dir/coding/recoding_test.cpp.o.d"
+  "coding_recoding_test"
+  "coding_recoding_test.pdb"
+  "coding_recoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_recoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

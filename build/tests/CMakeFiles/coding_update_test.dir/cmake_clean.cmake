@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_update_test.dir/coding/update_test.cpp.o"
+  "CMakeFiles/coding_update_test.dir/coding/update_test.cpp.o.d"
+  "coding_update_test"
+  "coding_update_test.pdb"
+  "coding_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

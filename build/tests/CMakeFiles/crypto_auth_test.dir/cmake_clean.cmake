@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_auth_test.dir/crypto/auth_test.cpp.o"
+  "CMakeFiles/crypto_auth_test.dir/crypto/auth_test.cpp.o.d"
+  "crypto_auth_test"
+  "crypto_auth_test.pdb"
+  "crypto_auth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/md5_test.cpp" "tests/CMakeFiles/crypto_md5_test.dir/crypto/md5_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_md5_test.dir/crypto/md5_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fairshare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/fairshare_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/fairshare_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fairshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/fairshare_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/fairshare_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fairshare_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fairshare_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fairshare_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fairshare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_field_test.dir/gf/field_test.cpp.o"
+  "CMakeFiles/gf_field_test.dir/gf/field_test.cpp.o.d"
+  "gf_field_test"
+  "gf_field_test.pdb"
+  "gf_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_polynomial_test.dir/gf/polynomial_test.cpp.o"
+  "CMakeFiles/gf_polynomial_test.dir/gf/polynomial_test.cpp.o.d"
+  "gf_polynomial_test"
+  "gf_polynomial_test.pdb"
+  "gf_polynomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_polynomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_row_ops_test.dir/gf/row_ops_test.cpp.o"
+  "CMakeFiles/gf_row_ops_test.dir/gf/row_ops_test.cpp.o.d"
+  "gf_row_ops_test"
+  "gf_row_ops_test.pdb"
+  "gf_row_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_row_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

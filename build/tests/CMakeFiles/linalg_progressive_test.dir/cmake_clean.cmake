@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_progressive_test.dir/linalg/progressive_test.cpp.o"
+  "CMakeFiles/linalg_progressive_test.dir/linalg/progressive_test.cpp.o.d"
+  "linalg_progressive_test"
+  "linalg_progressive_test.pdb"
+  "linalg_progressive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_progressive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_restart_integration_test.dir/net/restart_integration_test.cpp.o"
+  "CMakeFiles/net_restart_integration_test.dir/net/restart_integration_test.cpp.o.d"
+  "net_restart_integration_test"
+  "net_restart_integration_test.pdb"
+  "net_restart_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_restart_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

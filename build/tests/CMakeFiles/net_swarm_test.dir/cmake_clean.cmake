@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_swarm_test.dir/net/swarm_test.cpp.o"
+  "CMakeFiles/net_swarm_test.dir/net/swarm_test.cpp.o.d"
+  "net_swarm_test"
+  "net_swarm_test.pdb"
+  "net_swarm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_swarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

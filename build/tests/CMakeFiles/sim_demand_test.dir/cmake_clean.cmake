@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_demand_test.dir/sim/demand_test.cpp.o"
+  "CMakeFiles/sim_demand_test.dir/sim/demand_test.cpp.o.d"
+  "sim_demand_test"
+  "sim_demand_test.pdb"
+  "sim_demand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_demand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fairness_properties_test.dir/sim/fairness_properties_test.cpp.o"
+  "CMakeFiles/sim_fairness_properties_test.dir/sim/fairness_properties_test.cpp.o.d"
+  "sim_fairness_properties_test"
+  "sim_fairness_properties_test.pdb"
+  "sim_fairness_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fairness_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

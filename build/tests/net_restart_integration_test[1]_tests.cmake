@@ -1,0 +1,3 @@
+add_test([=[RestartIntegration.PeerServesFromReloadedStore]=]  /root/repo/build/tests/net_restart_integration_test [==[--gtest_filter=RestartIntegration.PeerServesFromReloadedStore]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[RestartIntegration.PeerServesFromReloadedStore]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  net_restart_integration_test_TESTS RestartIntegration.PeerServesFromReloadedStore)

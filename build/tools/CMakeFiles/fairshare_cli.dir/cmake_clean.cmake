@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_cli.dir/fairshare_cli.cpp.o"
+  "CMakeFiles/fairshare_cli.dir/fairshare_cli.cpp.o.d"
+  "fairshare_cli"
+  "fairshare_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
