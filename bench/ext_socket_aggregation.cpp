@@ -72,9 +72,29 @@ int main() {
     std::printf("%zu,%.2f,%.0f,%.2f\n", n, report.seconds, kbps,
                 kbps / single_kbps);
   }
+  // Observability from the concurrent server: session counters, per-user
+  // bytes, and the pacing scheduler's last allocation snapshot.
+  std::printf("server,completed,messages,peak_sessions,user0_bytes\n");
+  std::size_t total_completed = 0;
+  for (std::size_t p = 0; p < servers.size(); ++p) {
+    total_completed += servers[p]->sessions_completed();
+    std::printf("%zu,%zu,%zu,%zu,%llu\n", p, servers[p]->sessions_completed(),
+                servers[p]->messages_sent(), servers[p]->peak_sessions(),
+                static_cast<unsigned long long>(
+                    servers[p]->user_bytes_sent(0)));  // default user id
+  }
+  for (const auto& share : servers[0]->allocation_snapshot())
+    std::printf("alloc_snapshot: user=%llu rate_kbps=%.0f bytes=%llu "
+                "sessions=%zu\n",
+                static_cast<unsigned long long>(share.user_id),
+                share.rate_kbps,
+                static_cast<unsigned long long>(share.bytes_sent),
+                share.active_sessions);
   for (auto& s : servers) s->stop();
 
   bench::shape_check(all_exact, "every configuration reconstructed exactly");
+  bench::shape_check(total_completed > 0,
+                     "servers closed sessions cleanly (stop frames observed)");
   bench::shape_check(single_kbps < 1.25 * uplink_kbps,
                      "one session is pinned near the single uplink rate");
   bench::shape_check(best_kbps > 4.0 * single_kbps,

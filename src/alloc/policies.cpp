@@ -51,6 +51,7 @@ DecayingContributionPolicy::DecayingContributionPolicy(std::size_t n_peers,
 }
 
 void DecayingContributionPolicy::observe(const SlotFeedback& feedback) {
+  assert(feedback.received.size() == received_total_.size());
   for (std::size_t j = 0; j < received_total_.size(); ++j)
     received_total_[j] =
         decay_ * received_total_[j] + feedback.received[j];

@@ -14,6 +14,12 @@
 //  * the capacities peers *declare* (used by the gameable Eq. 3 baseline);
 //  * per-slot feedback about what its own user received from each peer.
 // It never sees other peers' private contribution ledgers.
+//
+// Synchronization contract: policies are NOT internally synchronized.  The
+// simulator drives each policy from a single thread; any caller that mixes
+// threads (the live TCP server's pacing scheduler plus seeding/snapshot
+// calls) must serialize access externally — see
+// alloc/synchronized_policy.hpp for the standard wrapper.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,47 @@
+// Mutex wrapper making an AllocationPolicy safe to drive from several
+// threads.
+//
+// Policies themselves follow the external-synchronization contract of
+// policy.hpp: the simulator calls them from one thread and pays nothing
+// for locks.  The live TCP server (net::PeerServer) is different — its
+// pacing scheduler ticks on one thread while ledger seeding and snapshots
+// may come from others — so it drives its policy through this wrapper.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "alloc/policy.hpp"
+
+namespace fairshare::alloc {
+
+class SynchronizedPolicy final : public AllocationPolicy {
+ public:
+  explicit SynchronizedPolicy(std::unique_ptr<AllocationPolicy> inner)
+      : inner_(std::move(inner)) {}
+
+  void allocate(const PeerContext& ctx, std::span<double> out) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->allocate(ctx, out);
+  }
+
+  void observe(const SlotFeedback& feedback) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->observe(feedback);
+  }
+
+  /// Run `fn(AllocationPolicy&)` under the lock — for ledger inspection or
+  /// other concrete-policy access that must not race the scheduler.
+  template <typename Fn>
+  auto with_inner(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::forward<Fn>(fn)(*inner_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unique_ptr<AllocationPolicy> inner_;
+};
+
+}  // namespace fairshare::alloc

@@ -54,8 +54,13 @@ void gf4_set(std::byte* row, std::size_t i, std::uint64_t v) {
 void gf4_axpy(std::byte* dst, const std::byte* src, std::uint64_t c,
               std::size_t n) {
   if (c == 0) return;
-  const auto& tab = gf4_table().t[c & 0xF];
   const std::size_t nb = gf4_row_bytes(n);
+  if (c == 1) {
+    // Pure xor; no table needed (unit pivots during elimination).
+    for (std::size_t i = 0; i < nb; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& tab = gf4_table().t[c & 0xF];
   for (std::size_t i = 0; i < nb; ++i)
     dst[i] ^= std::byte{tab[std::to_integer<std::uint8_t>(src[i])]};
 }
@@ -99,6 +104,11 @@ void gf8_set(std::byte* row, std::size_t i, std::uint64_t v) {
 void gf8_axpy(std::byte* dst, const std::byte* src, std::uint64_t c,
               std::size_t n) {
   if (c == 0) return;
+  if (c == 1) {
+    // Pure xor; no table needed (unit pivots during elimination).
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
   const std::uint8_t* tab = gf8_table().t.data() + (c & 0xFF) * 256;
   for (std::size_t i = 0; i < n; ++i)
     dst[i] ^= std::byte{tab[std::to_integer<std::uint8_t>(src[i])]};

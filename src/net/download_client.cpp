@@ -92,10 +92,17 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
       return;
     }
 
-    // Transmission "4": consume coded messages until done.
+    // Transmission "4": consume coded messages until done.  The bounded
+    // recv timeout lets a session blocked on a quiet peer notice that a
+    // sibling finished the decode, so every session reaches the stop frame
+    // below instead of hanging until the peer happens to send again.
+    socket->set_recv_timeout(options.recv_timeout_ms);
     while (!done.load()) {
       const auto frame = recv_frame(*socket, kMaxServerFrame);
-      if (!frame) return;  // peer exhausted its store / closed
+      if (!frame) {
+        if (socket->timed_out()) continue;  // re-check done and retry
+        return;  // peer exhausted its store / closed
+      }
       const auto msg = p2p::wire::decode_coded_message(*frame);
       if (!msg) {
         ++rejected;

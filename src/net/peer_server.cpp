@@ -1,7 +1,9 @@
 #include "net/peer_server.hpp"
 
+#include <algorithm>
 #include <chrono>
 
+#include "alloc/policies.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/sha256.hpp"
 #include "p2p/wire.hpp"
@@ -31,7 +33,15 @@ crypto::ChaCha20 seeded_rng(std::uint64_t seed, std::uint64_t salt) {
 
 PeerServer::PeerServer(Config config, p2p::MessageStore store,
                        std::optional<crypto::RsaKeyPair> identity)
-    : config_(config), store_(std::move(store)), identity_(std::move(identity)) {}
+    : config_(config),
+      store_(std::move(store)),
+      identity_(std::move(identity)),
+      user_bytes_(config_.max_users, 0),
+      user_rate_kbps_(config_.max_users, 0.0),
+      declared_(config_.max_users, 0.0),
+      policy_(std::make_unique<alloc::SynchronizedPolicy>(
+          std::make_unique<alloc::ProportionalContributionPolicy>(
+              config_.max_users))) {}
 
 PeerServer::~PeerServer() { stop(); }
 
@@ -40,40 +50,197 @@ void PeerServer::register_user(std::uint64_t user_id,
   users_.emplace(user_id, std::move(key));
 }
 
+void PeerServer::set_policy(std::unique_ptr<alloc::AllocationPolicy> policy) {
+  policy_ = std::make_unique<alloc::SynchronizedPolicy>(std::move(policy));
+}
+
+void PeerServer::seed_contribution(std::uint64_t user_id, double amount) {
+  std::vector<double> received(config_.max_users, 0.0);
+  {
+    std::lock_guard<std::mutex> lock(pacing_mutex_);
+    const auto slot = user_slot_locked(user_id);
+    if (!slot) return;
+    received[*slot] = amount;
+  }
+  alloc::SlotFeedback feedback;
+  feedback.slot = 0;
+  feedback.received = received;
+  policy_->observe(feedback);
+}
+
+std::optional<std::size_t> PeerServer::user_slot_locked(
+    std::uint64_t user_id) {
+  const auto it = user_slots_.find(user_id);
+  if (it != user_slots_.end()) return it->second;
+  if (slot_users_.size() >= config_.max_users) return std::nullopt;
+  const std::size_t slot = slot_users_.size();
+  slot_users_.push_back(user_id);
+  user_slots_.emplace(user_id, slot);
+  return slot;
+}
+
+std::uint64_t PeerServer::user_bytes_sent(std::uint64_t user_id) const {
+  std::lock_guard<std::mutex> lock(pacing_mutex_);
+  const auto it = user_slots_.find(user_id);
+  return it == user_slots_.end() ? 0 : user_bytes_[it->second];
+}
+
+std::vector<PeerServer::AllocationShare> PeerServer::allocation_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(pacing_mutex_);
+  std::vector<AllocationShare> out;
+  out.reserve(slot_users_.size());
+  for (std::size_t slot = 0; slot < slot_users_.size(); ++slot) {
+    AllocationShare share;
+    share.user_id = slot_users_[slot];
+    share.rate_kbps = user_rate_kbps_[slot];
+    share.bytes_sent = user_bytes_[slot];
+    for (const auto& [id, st] : sessions_)
+      if (st->streaming && st->user_slot == slot) ++share.active_sessions;
+    out.push_back(share);
+  }
+  return out;
+}
+
 bool PeerServer::start() {
   auto listener = Listener::bind_local(config_.port);
   if (!listener) return false;
   listener_ = std::move(*listener);
   port_ = listener_.port();
   running_ = true;
-  thread_ = std::thread([this] { accept_loop(); });
+  // max_sessions workers plus the (never-participating) caller slot.
+  pool_ = std::make_unique<util::ThreadPool>(
+      std::max<std::size_t>(config_.max_sessions, 1) + 1);
+  if (config_.rate_kbps > 0.0)
+    pacing_thread_ = std::thread([this] { pacing_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
 }
 
 void PeerServer::stop() {
   running_ = false;
-  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(pacing_mutex_);
+  }
+  pacing_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // joins every in-flight session handler
+  if (pacing_thread_.joinable()) pacing_thread_.join();
   listener_.close();
 }
 
 void PeerServer::accept_loop() {
-  std::uint64_t session_salt = 0;
   while (running_) {
     auto client = listener_.accept(/*timeout_ms=*/50);
     if (!client) continue;
-    ++session_salt;
-    handle_session(std::move(*client));
+    if (active_sessions_.load() >= config_.max_sessions) {
+      ++sessions_rejected_;
+      continue;  // Socket destructor closes the connection
+    }
+    const std::size_t now_active = ++active_sessions_;
+    std::size_t peak = peak_sessions_.load();
+    while (now_active > peak &&
+           !peak_sessions_.compare_exchange_weak(peak, now_active)) {
+    }
+    const std::uint64_t salt = ++session_counter_;
+    client->set_recv_timeout(config_.recv_timeout_ms);
+    client->set_send_timeout(config_.handshake_timeout_ms);
+    // std::function needs a copyable closure; hand the socket over shared.
+    auto shared = std::make_shared<Socket>(std::move(*client));
+    pool_->submit([this, shared, salt] {
+      handle_session(std::move(*shared), salt);
+      --active_sessions_;
+    });
   }
 }
 
-void PeerServer::handle_session(Socket client) {
-  static std::atomic<std::uint64_t> session_counter{0};
-  const std::uint64_t salt = ++session_counter;
+void PeerServer::pacing_loop() {
+  const auto quantum = std::chrono::milliseconds(config_.pacing_quantum_ms);
+  const double quantum_s = config_.pacing_quantum_ms / 1000.0;
+  std::vector<std::uint8_t> requesting(config_.max_users);
+  std::vector<double> received(config_.max_users);
+  std::vector<double> shares(config_.max_users);
+  std::vector<std::size_t> per_user_sessions(config_.max_users);
+  std::uint64_t slot = 0;
+  auto next = std::chrono::steady_clock::now() + quantum;
+
+  std::unique_lock<std::mutex> lock(pacing_mutex_);
+  while (running_) {
+    pacing_cv_.wait_until(lock, next, [&] { return !running_.load(); });
+    if (!running_) break;
+    next += quantum;
+    ++slot;
+
+    std::fill(requesting.begin(), requesting.end(), 0);
+    std::fill(received.begin(), received.end(), 0.0);
+    std::fill(per_user_sessions.begin(), per_user_sessions.end(), 0);
+    for (const auto& [id, st] : sessions_) {
+      received[st->user_slot] += st->quantum_bytes;
+      st->quantum_bytes = 0.0;
+      if (st->streaming) {
+        requesting[st->user_slot] = 1;
+        ++per_user_sessions[st->user_slot];
+      }
+    }
+
+    // Feedback first: Equation (2)'s ledger S accumulates the service each
+    // user's peer has actually delivered (here: bytes this server sent on
+    // the user's behalf — the local measurement available to a live peer).
+    alloc::SlotFeedback feedback;
+    feedback.slot = slot;
+    feedback.received = received;
+    policy_->observe(feedback);
+
+    alloc::PeerContext ctx;
+    ctx.self = 0;
+    ctx.slot = slot;
+    ctx.capacity = config_.rate_kbps;
+    ctx.requesting = requesting;
+    ctx.declared = declared_;  // live peers declare nothing (all zeros)
+    policy_->allocate(ctx, shares);
+
+    for (std::size_t s = 0; s < config_.max_users; ++s)
+      user_rate_kbps_[s] = requesting[s] ? shares[s] : 0.0;
+
+    for (const auto& [id, st] : sessions_) {
+      if (!st->streaming) continue;
+      double share = shares[st->user_slot] /
+                     static_cast<double>(per_user_sessions[st->user_slot]);
+      if (st->cap_kbps > 0.0) share = std::min(share, st->cap_kbps);
+      const double grant = share * 1000.0 / 8.0 * quantum_s;  // kbps -> bytes
+      st->budget_bytes += grant;
+      // A session that fell asleep must not burst an unbounded backlog.
+      const double burst_cap = std::max(4.0 * grant, 1.0);
+      st->budget_bytes = std::min(st->budget_bytes, burst_cap);
+    }
+    pacing_cv_.notify_all();
+  }
+  lock.unlock();
+  pacing_cv_.notify_all();  // release sessions still waiting on budget
+}
+
+std::optional<std::vector<std::byte>> PeerServer::recv_frame_by(
+    Socket& client, std::chrono::steady_clock::time_point deadline) {
+  while (running_) {
+    auto frame = recv_frame(client, kMaxClientFrame);
+    if (frame) return frame;
+    if (!client.timed_out()) return std::nullopt;  // closed or stalled
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void PeerServer::handle_session(Socket client, std::uint64_t salt) {
+  const auto handshake_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.handshake_timeout_ms);
 
   crypto::SessionKey session_key{};
+  std::uint64_t authed_user = 0;
+  bool have_authed_user = false;
   if (config_.require_auth) {
     if (!identity_) return;
-    const auto hello_frame = recv_frame(client, kMaxClientFrame);
+    const auto hello_frame = recv_frame_by(client, handshake_deadline);
     if (!hello_frame) return;
     const auto hello = p2p::wire::decode_auth_hello(*hello_frame);
     if (!hello) return;
@@ -87,7 +254,7 @@ void PeerServer::handle_session(Socket client) {
                                     rng);
     const auto challenge = responder.on_hello(*hello);
     if (!send_frame(client, p2p::wire::encode(challenge))) return;
-    const auto response_frame = recv_frame(client, kMaxClientFrame);
+    const auto response_frame = recv_frame_by(client, handshake_deadline);
     if (!response_frame) return;
     const auto response = p2p::wire::decode_auth_response(*response_frame);
     if (!response || !responder.on_response(*response)) {
@@ -95,39 +262,89 @@ void PeerServer::handle_session(Socket client) {
       return;
     }
     session_key = responder.session_key();
+    authed_user = hello->user_id;
+    have_authed_user = true;
   }
   (void)session_key;  // available for per-frame HMAC tagging if desired
 
-  const auto request_frame = recv_frame(client, kMaxClientFrame);
+  const auto request_frame = recv_frame_by(client, handshake_deadline);
   if (!request_frame) return;
   const auto request = p2p::wire::decode_file_request(*request_frame);
   if (!request) return;
+  // The allocation key is the *authenticated* identity when there is one;
+  // an unauthenticated server has only the request's claim to go by.
+  const std::uint64_t user_id =
+      have_authed_user ? authed_user : request->user_id;
 
-  // Transmission "4": stream the verbatim store, paced to the upload rate.
-  const double rate =
-      (config_.rate_kbps > 0.0 &&
-       (request->max_rate_kbps <= 0.0 || config_.rate_kbps < request->max_rate_kbps))
-          ? config_.rate_kbps
-          : request->max_rate_kbps;
+  const bool paced = config_.rate_kbps > 0.0;
+  std::shared_ptr<SessionState> st;
+  {
+    std::lock_guard<std::mutex> lock(pacing_mutex_);
+    const auto slot = user_slot_locked(user_id);
+    if (!slot) return;  // ledger full: cannot account for this user
+    st = std::make_shared<SessionState>();
+    st->user_id = user_id;
+    st->user_slot = *slot;
+    st->cap_kbps = request->max_rate_kbps;
+    st->streaming = true;
+    sessions_.emplace(salt, st);
+  }
+
+  // Transmission "4": stream the verbatim store.  Under pacing the session
+  // spends the token budget the scheduler grants its user each quantum;
+  // unpaced it honours at most the client's own advertised cap.
+  const double solo_rate = paced ? 0.0 : request->max_rate_kbps;
+  bool completed = true;
   const std::size_t count = store_.count(request->file_id);
   for (std::size_t i = 0; i < count && running_; ++i) {
     const coding::EncodedMessage& msg = store_.at(request->file_id, i);
-    if (!send_frame(client, p2p::wire::encode(msg))) return;  // client left
+    const auto frame = p2p::wire::encode(msg);
+    if (paced) {
+      std::unique_lock<std::mutex> lock(pacing_mutex_);
+      pacing_cv_.wait(lock, [&] {
+        return !running_.load() || st->budget_bytes > 0.0;
+      });
+      if (!running_) {
+        completed = false;
+        break;
+      }
+      // Debt model: any positive budget admits one frame; the overdraft is
+      // repaid out of future grants, so frames larger than one quantum's
+      // grant still flow at the allocated average rate.
+      st->budget_bytes -= static_cast<double>(frame.size());
+      st->quantum_bytes += static_cast<double>(frame.size());
+      user_bytes_[st->user_slot] += frame.size();
+    } else {
+      std::lock_guard<std::mutex> lock(pacing_mutex_);
+      user_bytes_[st->user_slot] += frame.size();
+    }
+    if (!send_frame(client, frame)) {  // client left
+      completed = false;
+      break;
+    }
     ++messages_sent_;
-    if (rate > 0.0) {
+    if (solo_rate > 0.0) {
       const double ms =
-          static_cast<double>(msg.wire_size()) * 8.0 / rate;  // kb / kbps
+          static_cast<double>(msg.wire_size()) * 8.0 / solo_rate;  // kb / kbps
       std::this_thread::sleep_for(
           std::chrono::microseconds(static_cast<long>(ms * 1000.0)));
     }
     // Transmission "5": the user says stop as soon as it can decode.
     if (client.readable(0)) {
       const auto stop_frame = recv_frame(client, kMaxClientFrame);
-      if (!stop_frame) return;
+      if (!stop_frame) {
+        completed = false;
+        break;
+      }
       if (p2p::wire::decode_stop_transmission(*stop_frame)) break;
     }
   }
-  ++sessions_completed_;
+
+  {
+    std::lock_guard<std::mutex> lock(pacing_mutex_);
+    sessions_.erase(salt);
+  }
+  if (completed) ++sessions_completed_;
 }
 
 }  // namespace fairshare::net

@@ -1,26 +1,39 @@
 // A peer as a real TCP server.
 //
-// Serves its verbatim message store over the wire protocol, exactly along
-// the Figure 4(b) timeline: (1) mutual challenge-response authentication,
+// Serves its verbatim message store over the wire protocol, along the
+// Figure 4(b) timeline: (1) mutual challenge-response authentication,
 // (2/3) the user's file request, (4) a paced stream of stored coded
 // messages, (5) stop.  Peers still never touch coefficients or do coding
 // work — they read frames out of their store and pace them to the
 // configured upload rate.
 //
-// Sessions are handled one at a time per server (the accept loop blocks on
-// the active session); a swarm of n peers therefore serves n concurrent
-// sessions, one each — which is exactly the paper's download pattern.
+// Sessions run concurrently: the accept loop hands each connection to a
+// util::ThreadPool worker (bounded by Config::max_sessions), and a pacing
+// scheduler re-divides rate_kbps across the active sessions every quantum
+// through a pluggable alloc::AllocationPolicy — by default the paper's
+// Equation (2) contribution-proportional rule, keyed by authenticated
+// user id and fed by the bytes each user was actually served.  The live
+// server therefore reproduces the allocation dynamics the simulator
+// models, instead of serializing downloads one at a time.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
+#include "alloc/synchronized_policy.hpp"
 #include "crypto/auth.hpp"
 #include "net/socket.hpp"
 #include "p2p/store.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fairshare::net {
 
@@ -28,10 +41,23 @@ class PeerServer {
  public:
   struct Config {
     std::uint16_t port = 0;   ///< 0 = pick a free port
-    double rate_kbps = 0.0;   ///< upload pacing; 0 = unpaced
+    double rate_kbps = 0.0;   ///< upload capacity mu_i; 0 = unpaced
     bool require_auth = true;
     std::uint64_t peer_id = 0;
     std::uint64_t rng_seed = 1;  ///< nonce/session-key stream seed
+    std::size_t max_sessions = 32;  ///< concurrent sessions; extras dropped
+    std::size_t max_users = 64;     ///< distinct users the ledger can track
+    int pacing_quantum_ms = 20;     ///< scheduler re-allocation period
+    int recv_timeout_ms = 100;      ///< session recv poll (shutdown latency)
+    int handshake_timeout_ms = 5000;  ///< auth + request must finish by then
+  };
+
+  /// Last-allocation view of one user, for tests and dashboards.
+  struct AllocationShare {
+    std::uint64_t user_id = 0;
+    double rate_kbps = 0.0;         ///< share granted at the last quantum
+    std::uint64_t bytes_sent = 0;   ///< cumulative payload bytes served
+    std::size_t active_sessions = 0;
   };
 
   /// The server takes its store and (when authenticating) its RSA identity
@@ -44,22 +70,58 @@ class PeerServer {
   PeerServer& operator=(const PeerServer&) = delete;
 
   /// Authorize a user's public key (Figure 4(b) assumes peers know the
-  /// keys of the users they serve).
+  /// keys of the users they serve).  Call before start().
   void register_user(std::uint64_t user_id, crypto::RsaPublicKey key);
 
-  /// Bind and spawn the accept loop.  False if the port cannot be bound.
+  /// Replace the allocation policy (default: ProportionalContributionPolicy
+  /// over Config::max_users slots).  The policy's vectors must be sized
+  /// Config::max_users.  Call before start().
+  void set_policy(std::unique_ptr<alloc::AllocationPolicy> policy);
+
+  /// Credit `amount` to a user's contribution ledger S (Equation (2)'s
+  /// cumulative term) — e.g. replaying contributions recorded elsewhere.
+  void seed_contribution(std::uint64_t user_id, double amount);
+
+  /// Bind and spawn the accept loop + pacing scheduler.  False if the port
+  /// cannot be bound.
   bool start();
-  /// Stop accepting, close, join.
+  /// Stop accepting, wake paced sessions, join every in-flight session.
   void stop();
 
   std::uint16_t port() const { return port_; }
   std::size_t sessions_completed() const { return sessions_completed_; }
   std::size_t auth_rejections() const { return auth_rejections_; }
   std::size_t messages_sent() const { return messages_sent_; }
+  /// Sessions currently being handled (accepted, not yet finished).
+  std::size_t active_sessions() const { return active_sessions_; }
+  /// High-water mark of active_sessions() since start().
+  std::size_t peak_sessions() const { return peak_sessions_; }
+  /// Connections dropped because max_sessions were already in flight.
+  std::size_t sessions_rejected() const { return sessions_rejected_; }
+  /// Cumulative payload bytes streamed to one user (0 if never seen).
+  std::uint64_t user_bytes_sent(std::uint64_t user_id) const;
+  /// Per-user allocation state as of the last pacing quantum.
+  std::vector<AllocationShare> allocation_snapshot() const;
 
  private:
+  struct SessionState {
+    std::uint64_t user_id = 0;
+    std::size_t user_slot = 0;
+    double cap_kbps = 0.0;       ///< client-advertised max_rate_kbps
+    double budget_bytes = 0.0;   ///< token bucket filled by the scheduler
+    double quantum_bytes = 0.0;  ///< sent since the last tick (feedback)
+    bool streaming = false;      ///< counts as "requesting" in Eq. (2)
+  };
+
   void accept_loop();
-  void handle_session(Socket client);
+  void pacing_loop();
+  void handle_session(Socket client, std::uint64_t salt);
+  /// recv_frame that retries clean timeouts until `deadline` or shutdown.
+  std::optional<std::vector<std::byte>> recv_frame_by(
+      Socket& client, std::chrono::steady_clock::time_point deadline);
+  /// Slot index for a user id, assigning one if unseen; nullopt when all
+  /// Config::max_users slots are taken.  Requires pacing_mutex_.
+  std::optional<std::size_t> user_slot_locked(std::uint64_t user_id);
 
   Config config_;
   p2p::MessageStore store_;
@@ -67,11 +129,30 @@ class PeerServer {
   std::map<std::uint64_t, crypto::RsaPublicKey> users_;
   Listener listener_;
   std::uint16_t port_ = 0;
-  std::thread thread_;
+  std::thread accept_thread_;
+  std::thread pacing_thread_;
+  std::unique_ptr<util::ThreadPool> pool_;
   std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> session_counter_{0};  // the one salt source
+
+  // Pacing state: one mutex guards the session registry, every
+  // SessionState, and the per-user tables below.
+  mutable std::mutex pacing_mutex_;
+  std::condition_variable pacing_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SessionState>> sessions_;
+  std::map<std::uint64_t, std::size_t> user_slots_;
+  std::vector<std::uint64_t> slot_users_;
+  std::vector<std::uint64_t> user_bytes_;
+  std::vector<double> user_rate_kbps_;
+  std::vector<double> declared_;  // zeros; live peers declare nothing
+  std::unique_ptr<alloc::SynchronizedPolicy> policy_;
+
   std::atomic<std::size_t> sessions_completed_{0};
   std::atomic<std::size_t> auth_rejections_{0};
   std::atomic<std::size_t> messages_sent_{0};
+  std::atomic<std::size_t> active_sessions_{0};
+  std::atomic<std::size_t> peak_sessions_{0};
+  std::atomic<std::size_t> sessions_rejected_{0};
 };
 
 }  // namespace fairshare::net

@@ -17,15 +17,33 @@ namespace fairshare::net {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), timed_out_(other.timed_out_) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    timed_out_ = other.timed_out_;
     other.fd_ = -1;
   }
   return *this;
+}
+
+bool Socket::set_recv_timeout(int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+bool Socket::set_send_timeout(int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
 }
 
 void Socket::close() {
@@ -72,13 +90,26 @@ bool Socket::write_all(std::span<const std::byte> data) {
 }
 
 bool Socket::read_exact(std::span<std::byte> out) {
+  timed_out_ = false;
   std::size_t got = 0;
+  // A peer that stalls mid-read gets a bounded number of timeout windows
+  // before the read is declared dead (frames are written whole, so partial
+  // arrivals normally complete within one window).
+  int stalls = 0;
   while (got < out.size()) {
     const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (got == 0) {
+          timed_out_ = true;  // clean timeout, nothing consumed: retryable
+          return false;
+        }
+        if (++stalls < 20) continue;
+      }
       return false;
     }
+    stalls = 0;
     got += static_cast<std::size_t>(n);
   }
   return true;
@@ -172,7 +203,12 @@ std::optional<std::vector<std::byte>> recv_frame(Socket& socket,
            << (8 * i);
   if (len > max_len) return std::nullopt;
   std::vector<std::byte> frame(len);
-  if (!socket.read_exact(frame)) return std::nullopt;
+  if (!socket.read_exact(frame)) {
+    // A timeout between header and body cannot be retried (the header is
+    // already consumed); surface it as a hard error.
+    socket.clear_timed_out();
+    return std::nullopt;
+  }
   return frame;
 }
 

@@ -39,15 +39,32 @@ class Socket {
   int fd() const { return fd_; }
   void close();
 
+  /// Bound every subsequent read with SO_RCVTIMEO (0 = block forever).
+  /// Lets a reader wake up periodically to re-check shutdown flags instead
+  /// of parking in recv() until the peer says something.
+  bool set_recv_timeout(int timeout_ms);
+  /// Bound every subsequent write with SO_SNDTIMEO (0 = block forever);
+  /// write_all fails instead of hanging on a peer that stopped reading.
+  bool set_send_timeout(int timeout_ms);
+
   /// Write all bytes; false on error/peer close.
   bool write_all(std::span<const std::byte> data);
-  /// Read exactly n bytes; false on error/EOF.
+  /// Read exactly n bytes; false on error/EOF.  When a recv timeout is set
+  /// and it expires before the *first* byte arrives, returns false with
+  /// timed_out() true — the caller may safely retry.  A timeout after a
+  /// partial read is a stalled peer and reports as a plain error.
   bool read_exact(std::span<std::byte> out);
+  /// True when the last read_exact failure was a clean (zero-byte) timeout.
+  bool timed_out() const { return timed_out_; }
+  /// Downgrade a clean timeout to a fatal error (used by recv_frame when a
+  /// timeout strikes mid-frame and a retry would desynchronise the stream).
+  void clear_timed_out() { timed_out_ = false; }
   /// True when at least one byte is readable within timeout_ms.
   bool readable(int timeout_ms) const;
 
  private:
   int fd_ = -1;
+  bool timed_out_ = false;
 };
 
 /// RAII listening socket.

@@ -44,18 +44,39 @@ bool ThreadPool::grab_and_run() {
 void ThreadPool::worker_loop() {
   std::size_t seen_generation = 0;
   for (;;) {
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [&] {
-        return stop_ || (fn_ != nullptr && generation_ != seen_generation &&
-                         next_job_ < jobs_);
+        return stop_ || !tasks_.empty() ||
+               (fn_ != nullptr && generation_ != seen_generation &&
+                next_job_ < jobs_);
       });
       if (stop_) return;
-      seen_generation = generation_;
+      if (fn_ != nullptr && generation_ != seen_generation &&
+          next_job_ < jobs_) {
+        seen_generation = generation_;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+      continue;
     }
     while (grab_and_run()) {
     }
   }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  assert(!workers_.empty() && "submit() needs at least one worker thread");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake_.notify_one();
 }
 
 void ThreadPool::parallel_for(std::size_t jobs,

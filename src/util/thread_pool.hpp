@@ -1,13 +1,18 @@
-// Minimal blocking thread pool for data-parallel row operations.
+// Minimal blocking thread pool for data-parallel row operations and
+// fire-and-forget tasks.
 //
 // The decoder's cost is dominated by axpy over m-symbol payload rows
 // (Table II's O(m k^2) term).  Rows are independent byte ranges, so the
 // work splits perfectly; ParallelFor gives the Gaussian-elimination
-// kernels an easy fan-out without per-call thread spawning.
+// kernels an easy fan-out without per-call thread spawning.  submit()
+// additionally lets long-lived owners (net::PeerServer's session handlers)
+// run detached tasks on the same fixed worker set, which caps their
+// concurrency at the pool size.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,6 +39,15 @@ class ThreadPool {
   void parallel_for(std::size_t jobs,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Enqueue a fire-and-forget task for the workers (the caller does not
+  /// participate, so the pool needs >= 2 threads).  Tasks may block for a
+  /// long time; at most workers() tasks run at once.  Destruction joins
+  /// running tasks but discards ones still queued.
+  void submit(std::function<void()> task);
+
+  /// Worker threads available to submit().
+  std::size_t workers() const { return workers_.size(); }
+
  private:
   void worker_loop();
   bool grab_and_run();
@@ -42,6 +56,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
+  std::deque<std::function<void()>> tasks_;
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t jobs_ = 0;
   std::size_t next_job_ = 0;

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "linalg/parallel_ops.hpp"
@@ -43,6 +45,41 @@ TEST(ThreadPool, ReusableAcrossManyRounds) {
     pool.parallel_for(17, [&](std::size_t) { ++count; });
     ASSERT_EQ(count.load(), 17) << "round " << round;
   }
+}
+
+TEST(ThreadPool, SubmitRunsEveryDetachedTask) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 3u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&] { ++ran; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ran.load() < 64 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SubmitCoexistsWithParallelFor) {
+  util::ThreadPool pool(4);
+  std::atomic<int> tasks{0};
+  std::atomic<bool> release{false};
+  // Two long-lived tasks occupy workers while parallel_for still completes
+  // (the caller participates, so it cannot starve).
+  for (int i = 0; i < 2; ++i)
+    pool.submit([&] {
+      while (!release.load()) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+      ++tasks;
+    });
+  std::atomic<int> jobs{0};
+  pool.parallel_for(100, [&](std::size_t) { ++jobs; });
+  EXPECT_EQ(jobs.load(), 100);
+  release = true;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (tasks.load() < 2 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(tasks.load(), 2);
 }
 
 TEST(ThreadPool, JobsSeeDistinctIndices) {
