@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
@@ -30,6 +31,13 @@ crypto::ChaCha20 seeded_rng(std::uint64_t seed, std::uint64_t salt) {
   return crypto::ChaCha20(std::span<const std::uint8_t, 32>(key), nonce);
 }
 
+/// How one connection attempt ended.
+enum class Outcome {
+  clean,             ///< decode done / stop sent / store served in full
+  failed_retryable,  ///< connect, reset, timeout: another attempt may work
+  failed_permanent,  ///< the peer failed authentication: do not go back
+};
+
 }  // namespace
 
 DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
@@ -37,49 +45,61 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
                              const coding::FileInfo& info,
                              const DownloadOptions& options) {
   DownloadReport report;
+  report.per_peer.resize(peers.size());
   coding::FileDecoder decoder(secret, info);
   std::mutex decoder_mutex;
   std::atomic<bool> done{false};
-  std::atomic<std::size_t> rejected{0};
-  std::atomic<std::size_t> failed{0};
+  // Completion broadcast: sessions parked in a retry backoff wake the
+  // moment a sibling finishes the decode, instead of sleeping it out.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  const auto mark_done = [&] {
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done = true;
+    }
+    done_cv.notify_all();
+  };
 
   const auto t0 = std::chrono::steady_clock::now();
 
-  auto session = [&](const PeerEndpoint& peer, std::uint64_t salt) {
-    auto socket = Socket::connect_to(peer.host, peer.port);
-    if (!socket) {
-      ++failed;
-      return;
+  // One connection attempt, start to finish.  `salt` is unique per attempt
+  // so re-established sessions use fresh handshake nonces.
+  auto attempt_session = [&](const PeerEndpoint& peer, PeerDownloadStats& ps,
+                             std::uint64_t salt) -> Outcome {
+    // An error observed after the decode already finished is shutdown
+    // noise (the swarm is tearing down), not a failure event; counting it
+    // would break the retried/failed partition documented in the header.
+    const auto fail_retryable = [&] {
+      return done.load() ? Outcome::clean : Outcome::failed_retryable;
+    };
+    std::unique_ptr<Transport> transport;
+    if (options.transport_factory) {
+      transport = options.transport_factory(peer);
+    } else {
+      auto socket = Socket::connect_to(peer.host, peer.port);
+      if (socket) transport = std::make_unique<Socket>(std::move(*socket));
     }
+    if (!transport || !transport->valid()) return fail_retryable();
+
     // Figure 4(b) transmission "1": mutual authentication.
     if (options.user_key != nullptr) {
       crypto::ChaCha20 rng = seeded_rng(options.rng_seed, salt);
       crypto::AuthInitiator initiator(options.user_id, *options.user_key,
                                       peer.identity, rng);
-      if (!send_frame(*socket, p2p::wire::encode(initiator.hello()))) {
-        ++failed;
-        return;
-      }
-      const auto challenge_frame = recv_frame(*socket, 1 << 16);
-      if (!challenge_frame) {
-        ++failed;
-        return;
-      }
+      if (!send_frame(*transport, p2p::wire::encode(initiator.hello())))
+        return fail_retryable();
+      const auto challenge_frame = recv_frame(*transport, 1 << 16);
+      if (!challenge_frame) return fail_retryable();
       const auto challenge =
           p2p::wire::decode_auth_challenge(*challenge_frame);
-      if (!challenge) {
-        ++failed;
-        return;
-      }
+      if (!challenge) return fail_retryable();
       const auto response = initiator.on_challenge(*challenge);
-      if (!response) {  // peer failed to prove its identity
-        ++failed;
-        return;
-      }
-      if (!send_frame(*socket, p2p::wire::encode(*response))) {
-        ++failed;
-        return;
-      }
+      // The peer failed to prove its identity: retrying would hand an
+      // impersonator more chances, not recover a flaky link.
+      if (!response) return Outcome::failed_permanent;
+      if (!send_frame(*transport, p2p::wire::encode(*response)))
+        return fail_retryable();
     }
 
     // Transmission "2"/"3": request the file.
@@ -87,33 +107,52 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
     request.user_id = options.user_id;
     request.file_id = info.file_id;
     request.max_rate_kbps = options.max_rate_kbps;
-    if (!send_frame(*socket, p2p::wire::encode(request))) {
-      ++failed;
-      return;
-    }
+    if (!send_frame(*transport, p2p::wire::encode(request)))
+      return fail_retryable();
 
     // Transmission "4": consume coded messages until done.  The bounded
     // recv timeout lets a session blocked on a quiet peer notice that a
     // sibling finished the decode, so every session reaches the stop frame
     // below instead of hanging until the peer happens to send again.
-    socket->set_recv_timeout(options.recv_timeout_ms);
+    transport->set_recv_timeout(options.recv_timeout_ms);
     while (!done.load()) {
-      const auto frame = recv_frame(*socket, kMaxServerFrame);
+      const auto frame = recv_frame(*transport, kMaxServerFrame);
       if (!frame) {
-        if (socket->timed_out()) continue;  // re-check done and retry
-        return;  // peer exhausted its store / closed
+        if (transport->timed_out()) continue;  // re-check done and retry
+        // Reset or premature EOF: retryable — a reconnect re-streams the
+        // peer's store, and messages already decoded fall out as
+        // non-innovative (no double-count).
+        return fail_retryable();
       }
       const auto msg = p2p::wire::decode_coded_message(*frame);
       if (!msg) {
-        ++rejected;
+        ++ps.frames_corrupt;
+        ++ps.messages_rejected;
         continue;
       }
       std::lock_guard<std::mutex> lock(decoder_mutex);
       if (decoder.complete()) break;
-      const auto result = decoder.add(*msg);
-      if (result == coding::AddResult::bad_digest) ++rejected;
+      switch (decoder.add(*msg)) {
+        case coding::AddResult::accepted:
+          ++ps.messages_accepted;
+          break;
+        case coding::AddResult::bad_digest:
+          // The paper's on-the-fly authentication: a flipped byte anywhere
+          // in the frame fails the owner's MD5 and never touches the
+          // solver.
+          ++ps.frames_corrupt;
+          ++ps.messages_rejected;
+          break;
+        case coding::AddResult::wrong_file:
+        case coding::AddResult::bad_size:
+          ++ps.messages_rejected;
+          break;
+        case coding::AddResult::non_innovative:
+        case coding::AddResult::already_complete:
+          break;
+      }
       if (decoder.complete()) {
-        done = true;
+        mark_done();
         break;
       }
     }
@@ -121,20 +160,61 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
     p2p::wire::StopTransmission stop;
     stop.user_id = options.user_id;
     stop.file_id = info.file_id;
-    (void)send_frame(*socket, p2p::wire::encode(stop));
+    (void)send_frame(*transport, p2p::wire::encode(stop));
+    return Outcome::clean;
+  };
+
+  auto session = [&](std::size_t index) {
+    const PeerEndpoint& peer = peers[index];
+    PeerDownloadStats& ps = report.per_peer[index];
+    ps.peer_id = peer.peer_id;
+    const int max_attempts = std::max(1, options.retry.max_attempts);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (done.load()) break;
+      ++ps.attempts;
+      const std::uint64_t salt =
+          static_cast<std::uint64_t>(index + 1) |
+          (static_cast<std::uint64_t>(attempt) << 32);
+      const Outcome outcome = attempt_session(peer, ps, salt);
+      if (outcome == Outcome::clean) break;
+      // Counter partition (see download_client.hpp): this failed attempt
+      // is counted below either as retried (another attempt follows) or,
+      // exactly once per peer, as the terminal failure.
+      if (outcome == Outcome::failed_permanent || attempt == max_attempts ||
+          done.load()) {
+        ps.gave_up = true;
+        break;
+      }
+      const int delay = options.retry.delay_ms(
+          attempt, options.rng_seed ^ (0xC0FFEEull * (index + 1)));
+      {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait_for(lock, std::chrono::milliseconds(delay),
+                         [&] { return done.load(); });
+      }
+      if (done.load()) {  // the swarm finished while this peer backed off
+        ps.gave_up = true;
+        break;
+      }
+      ++ps.sessions_retried;
+    }
   };
 
   std::vector<std::thread> threads;
   threads.reserve(peers.size());
   for (std::size_t i = 0; i < peers.size(); ++i)
-    threads.emplace_back(session, peers[i], static_cast<std::uint64_t>(i + 1));
+    threads.emplace_back(session, i);
   for (auto& t : threads) t.join();
 
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  report.messages_rejected = rejected;
-  report.sessions_failed = failed;
+  for (const PeerDownloadStats& ps : report.per_peer) {
+    report.messages_rejected += ps.messages_rejected;
+    report.frames_corrupt += ps.frames_corrupt;
+    report.sessions_retried += ps.sessions_retried;
+    if (ps.gave_up) ++report.sessions_failed;
+  }
   if (decoder.complete()) {
     report.success = true;
     report.data = decoder.reconstruct();

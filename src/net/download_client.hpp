@@ -2,14 +2,44 @@
 // peer, pulls coded messages from all of them in parallel, feeds a shared
 // decoder, and sends stop the instant rank k is reached (Section III-B
 // over real sockets).
+//
+// Failure model: a peer that refuses the connection, dies mid-handshake,
+// or resets mid-stream is retried with exponential backoff + deterministic
+// jitter (RetryPolicy) up to max_attempts, and each re-established session
+// resumes feeding the *shared* decoder — replayed messages fall out as
+// non-innovative, so nothing is double-counted.  The download therefore
+// succeeds whenever the union of peers that keep answering jointly holds
+// >= k innovative messages, no matter which individual sessions flap
+// (chaos_test.cpp proves this under seeded fault schedules).
+//
+// Counter semantics — the failure counters PARTITION failure events:
+//   * a failure event is a connection attempt that errors while the decode
+//     is still incomplete (an error seen after completion is shutdown
+//     noise, not a failure);
+//   * every failure event is counted in exactly one of sessions_retried
+//     (another attempt to that peer followed) or sessions_failed (it was
+//     the peer's last word: the retry policy was exhausted, the peer
+//     failed authentication permanently, or the download completed while
+//     the peer was backing off);
+//   * hence sessions_retried + sessions_failed == total failed attempts,
+//     and sessions_failed <= peers.size() (at most one terminal failure
+//     per peer).  chaos_test asserts this invariant.
+//   * frames_corrupt counts frames whose *content* failed verification
+//     (unparseable wire bytes or an MD5 digest mismatch); it is a subset
+//     of messages_rejected, which additionally counts wrong-file and
+//     wrong-size messages.  Corrupt frames never reach the solver.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "coding/decoder.hpp"
 #include "crypto/rsa.hpp"
+#include "net/retry.hpp"
+#include "net/transport.hpp"
 
 namespace fairshare::net {
 
@@ -22,13 +52,27 @@ struct PeerEndpoint {
   crypto::RsaPublicKey identity;
 };
 
+/// Per-peer slice of a DownloadReport.
+struct PeerDownloadStats {
+  std::uint64_t peer_id = 0;
+  std::size_t attempts = 0;          ///< connections tried (successes too)
+  std::size_t sessions_retried = 0;  ///< failed attempts that were retried
+  bool gave_up = false;              ///< final attempt ended in an error
+  std::size_t messages_accepted = 0;  ///< innovative messages via this peer
+  std::size_t messages_rejected = 0;
+  std::size_t frames_corrupt = 0;
+};
+
 struct DownloadReport {
   bool success = false;
   std::vector<std::byte> data;
   std::size_t messages_accepted = 0;
-  std::size_t messages_rejected = 0;  ///< bad digest / malformed frames
-  std::size_t sessions_failed = 0;    ///< connect or handshake failures
+  std::size_t messages_rejected = 0;  ///< bad digest / malformed / mismatch
+  std::size_t frames_corrupt = 0;     ///< unparseable or digest-rejected
+  std::size_t sessions_failed = 0;    ///< peers whose last attempt failed
+  std::size_t sessions_retried = 0;   ///< failed attempts that were retried
   double seconds = 0.0;
+  std::vector<PeerDownloadStats> per_peer;  ///< one entry per endpoint
 };
 
 struct DownloadOptions {
@@ -39,6 +83,13 @@ struct DownloadOptions {
   /// How often a session blocked on a quiet peer re-checks whether a
   /// sibling already completed the decode (straggler stop latency).
   int recv_timeout_ms = 100;
+  /// Per-peer reconnect policy; backoff jitter derives from rng_seed.
+  RetryPolicy retry;
+  /// How connections are opened; null => TCP via Socket::connect_to.
+  /// Called once per attempt; return nullptr for a refused connection.
+  /// Tests inject FaultyTransport wrappers here (fault_transport.hpp).
+  std::function<std::unique_ptr<Transport>(const PeerEndpoint&)>
+      transport_factory;
 };
 
 /// Download `info`'s file from `peers` in parallel and decode it with

@@ -1,0 +1,165 @@
+#include "net/fault_transport.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace fairshare::net {
+
+// ----------------------------------------------------------- FaultInjector
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan), shared_(std::make_shared<Shared>()) {
+  shared_->rng = sim::SplitMix64(plan.seed);
+}
+
+bool FaultInjector::admits_connection() {
+  if (!plan_.refuse_connection) return true;
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  ++shared_->stats.connections_refused;
+  return false;
+}
+
+std::unique_ptr<Transport> FaultInjector::wrap(
+    std::unique_ptr<Transport> inner) {
+  return std::make_unique<FaultyTransport>(std::move(inner), plan_, shared_);
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->stats;
+}
+
+// --------------------------------------------------------- FaultyTransport
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 FaultPlan plan)
+    : FaultyTransport(std::move(inner), plan,
+                      std::make_shared<FaultInjector::Shared>()) {
+  shared_->rng = sim::SplitMix64(plan.seed);
+}
+
+FaultyTransport::FaultyTransport(
+    std::unique_ptr<Transport> inner, FaultPlan plan,
+    std::shared_ptr<FaultInjector::Shared> shared)
+    : inner_(std::move(inner)), plan_(plan), shared_(std::move(shared)) {}
+
+FaultyTransport::Faults FaultyTransport::draw_faults() {
+  // Always four draws per frame: the schedule is a pure function of the
+  // seed and the frame index, not of which rates happen to be non-zero.
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  Faults f;
+  f.drop = shared_->rng.next_double() < plan_.drop_rate;
+  f.corrupt = shared_->rng.next_double() < plan_.corrupt_rate;
+  f.duplicate = shared_->rng.next_double() < plan_.duplicate_rate;
+  f.delay = shared_->rng.next_double() < plan_.delay_rate;
+  if (f.corrupt) f.corrupt_at = shared_->rng.next();
+  if (f.drop) ++shared_->stats.frames_dropped;
+  if (f.corrupt) ++shared_->stats.frames_corrupted;
+  if (f.duplicate) ++shared_->stats.frames_duplicated;
+  if (f.delay) ++shared_->stats.frames_delayed;
+  return f;
+}
+
+void FaultyTransport::flip_payload_byte(std::vector<std::byte>& frame,
+                                        std::uint64_t draw) {
+  if (frame.empty()) return;
+  // Aim past the 17-byte coded-message prefix (frame type + file id +
+  // message id) so the frame still parses and the MD5 digest check is the
+  // layer that must catch the flip.  Short frames get any byte flipped.
+  constexpr std::size_t kPrefix = 17;
+  const std::size_t lo = frame.size() > kPrefix ? kPrefix : 0;
+  const std::size_t idx = lo + draw % (frame.size() - lo);
+  frame[idx] ^= std::byte{0x01};
+}
+
+bool FaultyTransport::consume_frame_budget() {
+  if (reset_) return false;
+  if (frames_used_ >= plan_.reset_after_frames) {
+    reset_ = true;
+    inner_->close();  // the RST analog: both directions die at once
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    ++shared_->stats.connections_reset;
+    return false;
+  }
+  ++frames_used_;
+  return true;
+}
+
+bool FaultyTransport::write_all(std::span<const std::byte> data) {
+  return !reset_ && inner_->write_all(data);
+}
+
+bool FaultyTransport::read_exact(std::span<std::byte> out) {
+  return !reset_ && inner_->read_exact(out);
+}
+
+bool FaultyTransport::write_frame(std::span<const std::byte> frame) {
+  if (!consume_frame_budget()) return false;
+  const Faults f = draw_faults();
+  if (f.delay)
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.delay_ms));
+  if (f.drop) return true;  // swallowed in transit; sender cannot tell
+  if (f.corrupt) {
+    std::vector<std::byte> mangled(frame.begin(), frame.end());
+    flip_payload_byte(mangled, f.corrupt_at);
+    const bool ok = inner_->write_frame(mangled);
+    return ok && (!f.duplicate || inner_->write_frame(mangled));
+  }
+  const bool ok = inner_->write_frame(frame);
+  return ok && (!f.duplicate || inner_->write_frame(frame));
+}
+
+std::optional<std::vector<std::byte>> FaultyTransport::read_frame(
+    std::size_t max_len) {
+  if (pending_duplicate_) {
+    auto again = std::move(*pending_duplicate_);
+    pending_duplicate_.reset();
+    return again;
+  }
+  for (;;) {
+    if (!consume_frame_budget()) return std::nullopt;
+    auto frame = inner_->read_frame(max_len);
+    if (!frame) {
+      --frames_used_;  // nothing crossed; give the budget back
+      return std::nullopt;
+    }
+    const Faults f = draw_faults();
+    if (f.delay)
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan_.delay_ms));
+    if (f.drop) continue;  // lost in transit; read the next one
+    if (f.corrupt) flip_payload_byte(*frame, f.corrupt_at);
+    if (f.duplicate) pending_duplicate_ = *frame;
+    return frame;
+  }
+}
+
+bool FaultyTransport::set_recv_timeout(int timeout_ms) {
+  return inner_->set_recv_timeout(timeout_ms);
+}
+
+bool FaultyTransport::set_send_timeout(int timeout_ms) {
+  return inner_->set_send_timeout(timeout_ms);
+}
+
+bool FaultyTransport::timed_out() const {
+  return !reset_ && inner_->timed_out();
+}
+
+void FaultyTransport::clear_timed_out() { inner_->clear_timed_out(); }
+
+bool FaultyTransport::readable(int timeout_ms) {
+  if (pending_duplicate_) return true;
+  return !reset_ && inner_->readable(timeout_ms);
+}
+
+void FaultyTransport::close() { inner_->close(); }
+
+bool FaultyTransport::valid() const { return !reset_ && inner_->valid(); }
+
+FaultStats FaultyTransport::stats() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->stats;
+}
+
+}  // namespace fairshare::net

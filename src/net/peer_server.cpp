@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "alloc/policies.hpp"
 #include "crypto/chacha20.hpp"
@@ -145,10 +146,15 @@ void PeerServer::accept_loop() {
     const std::uint64_t salt = ++session_counter_;
     client->set_recv_timeout(config_.recv_timeout_ms);
     client->set_send_timeout(config_.handshake_timeout_ms);
-    // std::function needs a copyable closure; hand the socket over shared.
-    auto shared = std::make_shared<Socket>(std::move(*client));
+    std::unique_ptr<Transport> transport =
+        std::make_unique<Socket>(std::move(*client));
+    if (config_.transport_wrapper)
+      transport = config_.transport_wrapper(std::move(transport));
+    // std::function needs a copyable closure; hand the transport over
+    // shared.
+    std::shared_ptr<Transport> shared = std::move(transport);
     pool_->submit([this, shared, salt] {
-      handle_session(std::move(*shared), salt);
+      handle_session(*shared, salt);
       --active_sessions_;
     });
   }
@@ -220,7 +226,7 @@ void PeerServer::pacing_loop() {
 }
 
 std::optional<std::vector<std::byte>> PeerServer::recv_frame_by(
-    Socket& client, std::chrono::steady_clock::time_point deadline) {
+    Transport& client, std::chrono::steady_clock::time_point deadline) {
   while (running_) {
     auto frame = recv_frame(client, kMaxClientFrame);
     if (frame) return frame;
@@ -230,7 +236,7 @@ std::optional<std::vector<std::byte>> PeerServer::recv_frame_by(
   return std::nullopt;
 }
 
-void PeerServer::handle_session(Socket client, std::uint64_t salt) {
+void PeerServer::handle_session(Transport& client, std::uint64_t salt) {
   const auto handshake_deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(config_.handshake_timeout_ms);
@@ -276,6 +282,15 @@ void PeerServer::handle_session(Socket client, std::uint64_t salt) {
   const std::uint64_t user_id =
       have_authed_user ? authed_user : request->user_id;
 
+  // The advertised cap is untrusted wire input: a corrupt (or hostile)
+  // request carrying a denormal, negative, or non-finite rate must not be
+  // able to park this session in a near-infinite pacing sleep — it would
+  // stall stop() behind the thread-pool join.  Sub-1-kbps caps mean "no
+  // cap"; the per-frame sleep below is bounded as a second line of
+  // defence.
+  double client_cap = request->max_rate_kbps;
+  if (!std::isfinite(client_cap) || client_cap < 1.0) client_cap = 0.0;
+
   const bool paced = config_.rate_kbps > 0.0;
   std::shared_ptr<SessionState> st;
   {
@@ -285,7 +300,7 @@ void PeerServer::handle_session(Socket client, std::uint64_t salt) {
     st = std::make_shared<SessionState>();
     st->user_id = user_id;
     st->user_slot = *slot;
-    st->cap_kbps = request->max_rate_kbps;
+    st->cap_kbps = client_cap;
     st->streaming = true;
     sessions_.emplace(salt, st);
   }
@@ -293,7 +308,7 @@ void PeerServer::handle_session(Socket client, std::uint64_t salt) {
   // Transmission "4": stream the verbatim store.  Under pacing the session
   // spends the token budget the scheduler grants its user each quantum;
   // unpaced it honours at most the client's own advertised cap.
-  const double solo_rate = paced ? 0.0 : request->max_rate_kbps;
+  const double solo_rate = paced ? 0.0 : client_cap;
   bool completed = true;
   const std::size_t count = store_.count(request->file_id);
   for (std::size_t i = 0; i < count && running_; ++i) {
@@ -324,8 +339,9 @@ void PeerServer::handle_session(Socket client, std::uint64_t salt) {
     }
     ++messages_sent_;
     if (solo_rate > 0.0) {
-      const double ms =
-          static_cast<double>(msg.wire_size()) * 8.0 / solo_rate;  // kb / kbps
+      const double ms = std::min(
+          static_cast<double>(msg.wire_size()) * 8.0 / solo_rate,  // kb / kbps
+          1000.0);  // bound one frame's sleep so stop() stays prompt
       std::this_thread::sleep_for(
           std::chrono::microseconds(static_cast<long>(ms * 1000.0)));
     }

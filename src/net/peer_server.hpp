@@ -21,6 +21,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,7 @@
 #include "alloc/synchronized_policy.hpp"
 #include "crypto/auth.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "p2p/store.hpp"
 #include "util/thread_pool.hpp"
 
@@ -50,6 +52,13 @@ class PeerServer {
     int pacing_quantum_ms = 20;     ///< scheduler re-allocation period
     int recv_timeout_ms = 100;      ///< session recv poll (shutdown latency)
     int handshake_timeout_ms = 5000;  ///< auth + request must finish by then
+    /// Accept-path hook: every accepted connection's Transport is passed
+    /// through this before the session runs, so chaos tests can inject
+    /// server-side faults (e.g. a FaultInjector::wrap closure) without the
+    /// server knowing.  Null = serve the raw socket.  Must be thread-safe:
+    /// called from the accept loop while sessions run concurrently.
+    std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
+        transport_wrapper;
   };
 
   /// Last-allocation view of one user, for tests and dashboards.
@@ -115,10 +124,10 @@ class PeerServer {
 
   void accept_loop();
   void pacing_loop();
-  void handle_session(Socket client, std::uint64_t salt);
+  void handle_session(Transport& client, std::uint64_t salt);
   /// recv_frame that retries clean timeouts until `deadline` or shutdown.
   std::optional<std::vector<std::byte>> recv_frame_by(
-      Socket& client, std::chrono::steady_clock::time_point deadline);
+      Transport& client, std::chrono::steady_clock::time_point deadline);
   /// Slot index for a user id, assigning one if unseen; nullopt when all
   /// Config::max_users slots are taken.  Requires pacing_mutex_.
   std::optional<std::size_t> user_slot_locked(std::uint64_t user_id);

@@ -1,0 +1,47 @@
+// Retry/backoff policy for download sessions.
+//
+// Pure arithmetic: given the index of the attempt that just failed and a
+// seed, delay_ms returns how long to back off before the next attempt —
+// exponential growth from base_ms, capped at max_ms, with deterministic
+// "equal jitter" (uniform over the upper half of the envelope) so a swarm
+// of retrying sessions de-synchronises without losing reproducibility.
+// Callers do the actual waiting (download_file waits on a condition
+// variable so a completed decode cuts every backoff short); tests drive
+// the function with a fake clock and never sleep.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace fairshare::net {
+
+struct RetryPolicy {
+  /// Total connection attempts per peer (first try included); >= 1.
+  int max_attempts = 3;
+  /// Backoff envelope after the first failed attempt.
+  int base_ms = 20;
+  /// Envelope cap; delays never exceed this.
+  int max_ms = 2000;
+
+  /// Backoff before attempt `failed_attempt + 1`, where `failed_attempt`
+  /// is 1-based.  Deterministic in (policy, failed_attempt, seed); lies in
+  /// [envelope/2, envelope] with envelope = min(max_ms, base_ms *
+  /// 2^(failed_attempt-1)).
+  int delay_ms(int failed_attempt, std::uint64_t seed) const {
+    if (failed_attempt < 1 || base_ms <= 0) return 0;
+    std::int64_t envelope = base_ms;
+    for (int i = 1; i < failed_attempt && envelope < max_ms; ++i)
+      envelope *= 2;
+    envelope = std::min<std::int64_t>(envelope, max_ms);
+    const std::int64_t half = envelope / 2;
+    sim::SplitMix64 rng(seed ^ (0x9E3779B97F4A7C15ull *
+                                static_cast<std::uint64_t>(failed_attempt)));
+    return static_cast<int>(
+        half + static_cast<std::int64_t>(rng.next_below(
+                   static_cast<std::uint64_t>(envelope - half + 1))));
+  }
+};
+
+}  // namespace fairshare::net

@@ -115,7 +115,7 @@ bool Socket::read_exact(std::span<std::byte> out) {
   return true;
 }
 
-bool Socket::readable(int timeout_ms) const {
+bool Socket::readable(int timeout_ms) {
   pollfd pfd{fd_, POLLIN, 0};
   return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN);
 }
@@ -180,36 +180,6 @@ std::optional<Socket> Listener::accept(int timeout_ms) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Socket(fd);
-}
-
-// ----------------------------------------------------------------- frames
-
-bool send_frame(Socket& socket, std::span<const std::byte> frame) {
-  std::byte header[4];
-  const auto len = static_cast<std::uint32_t>(frame.size());
-  for (int i = 0; i < 4; ++i)
-    header[i] = std::byte{static_cast<std::uint8_t>(len >> (8 * i))};
-  return socket.write_all(std::span<const std::byte>(header, 4)) &&
-         socket.write_all(frame);
-}
-
-std::optional<std::vector<std::byte>> recv_frame(Socket& socket,
-                                                 std::size_t max_len) {
-  std::byte header[4];
-  if (!socket.read_exact(std::span<std::byte>(header, 4))) return std::nullopt;
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i)
-    len |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(header[i]))
-           << (8 * i);
-  if (len > max_len) return std::nullopt;
-  std::vector<std::byte> frame(len);
-  if (!socket.read_exact(frame)) {
-    // A timeout between header and body cannot be retried (the header is
-    // already consumed); surface it as a hard error.
-    socket.clear_timed_out();
-    return std::nullopt;
-  }
-  return frame;
 }
 
 }  // namespace fairshare::net

@@ -7,6 +7,10 @@
 // net/peer_server.hpp, net/download_client.hpp and the localhost_swarm
 // example).
 //
+// Socket is the TCP implementation of the net::Transport seam
+// (transport.hpp); the server and client speak to the interface so tests
+// can substitute fault-injecting wrappers (fault_transport.hpp).
+//
 // Frames on the wire: u32 little-endian length, then that many bytes
 // (a p2p::wire frame).  Blocking IO with short timeouts; IPv4 only.
 #pragma once
@@ -18,14 +22,16 @@
 #include <string>
 #include <vector>
 
+#include "net/transport.hpp"
+
 namespace fairshare::net {
 
 /// RAII wrapper over a connected TCP socket.
-class Socket {
+class Socket final : public Transport {
  public:
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
-  ~Socket();
+  ~Socket() override;
   Socket(Socket&& other) noexcept;
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
@@ -35,32 +41,32 @@ class Socket {
   static std::optional<Socket> connect_to(const std::string& host,
                                           std::uint16_t port);
 
-  bool valid() const { return fd_ >= 0; }
+  bool valid() const override { return fd_ >= 0; }
   int fd() const { return fd_; }
-  void close();
+  void close() override;
 
   /// Bound every subsequent read with SO_RCVTIMEO (0 = block forever).
   /// Lets a reader wake up periodically to re-check shutdown flags instead
   /// of parking in recv() until the peer says something.
-  bool set_recv_timeout(int timeout_ms);
+  bool set_recv_timeout(int timeout_ms) override;
   /// Bound every subsequent write with SO_SNDTIMEO (0 = block forever);
   /// write_all fails instead of hanging on a peer that stopped reading.
-  bool set_send_timeout(int timeout_ms);
+  bool set_send_timeout(int timeout_ms) override;
 
   /// Write all bytes; false on error/peer close.
-  bool write_all(std::span<const std::byte> data);
+  bool write_all(std::span<const std::byte> data) override;
   /// Read exactly n bytes; false on error/EOF.  When a recv timeout is set
   /// and it expires before the *first* byte arrives, returns false with
   /// timed_out() true — the caller may safely retry.  A timeout after a
   /// partial read is a stalled peer and reports as a plain error.
-  bool read_exact(std::span<std::byte> out);
+  bool read_exact(std::span<std::byte> out) override;
   /// True when the last read_exact failure was a clean (zero-byte) timeout.
-  bool timed_out() const { return timed_out_; }
-  /// Downgrade a clean timeout to a fatal error (used by recv_frame when a
+  bool timed_out() const override { return timed_out_; }
+  /// Downgrade a clean timeout to a fatal error (used by read_frame when a
   /// timeout strikes mid-frame and a retry would desynchronise the stream).
-  void clear_timed_out() { timed_out_ = false; }
+  void clear_timed_out() override { timed_out_ = false; }
   /// True when at least one byte is readable within timeout_ms.
-  bool readable(int timeout_ms) const;
+  bool readable(int timeout_ms) override;
 
  private:
   int fd_ = -1;
@@ -93,12 +99,5 @@ class Listener {
   int fd_ = -1;
   std::uint16_t port_ = 0;
 };
-
-/// Send one length-prefixed frame.
-bool send_frame(Socket& socket, std::span<const std::byte> frame);
-
-/// Receive one frame; nullopt on EOF/error/oversized (> max_len) frames.
-std::optional<std::vector<std::byte>> recv_frame(Socket& socket,
-                                                 std::size_t max_len);
 
 }  // namespace fairshare::net

@@ -1,0 +1,41 @@
+#include "net/transport.hpp"
+
+namespace fairshare::net {
+
+bool Transport::write_frame(std::span<const std::byte> frame) {
+  std::byte header[4];
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i)
+    header[i] = std::byte{static_cast<std::uint8_t>(len >> (8 * i))};
+  return write_all(std::span<const std::byte>(header, 4)) && write_all(frame);
+}
+
+std::optional<std::vector<std::byte>> Transport::read_frame(
+    std::size_t max_len) {
+  std::byte header[4];
+  if (!read_exact(std::span<std::byte>(header, 4))) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(header[i]))
+           << (8 * i);
+  if (len > max_len) return std::nullopt;
+  std::vector<std::byte> frame(len);
+  if (!read_exact(frame)) {
+    // A timeout between header and body cannot be retried (the header is
+    // already consumed); surface it as a hard error.
+    clear_timed_out();
+    return std::nullopt;
+  }
+  return frame;
+}
+
+bool send_frame(Transport& transport, std::span<const std::byte> frame) {
+  return transport.write_frame(frame);
+}
+
+std::optional<std::vector<std::byte>> recv_frame(Transport& transport,
+                                                 std::size_t max_len) {
+  return transport.read_frame(max_len);
+}
+
+}  // namespace fairshare::net

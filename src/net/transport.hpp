@@ -1,0 +1,72 @@
+// The byte/frame transport seam under the real-socket protocol stack.
+//
+// net::Socket is one implementation (a connected TCP stream); tests and
+// chaos harnesses substitute others — most importantly net::FaultyTransport
+// (fault_transport.hpp), which wraps any Transport and injects seeded
+// connection resets, frame drops/delays/duplication, and byte corruption.
+// PeerServer and download_file speak only to this interface, so the entire
+// Figure 4(b) exchange can be exercised under deterministic fault schedules
+// without touching the protocol code.
+//
+// Frame layer: the virtual read_frame/write_frame pair carries one
+// length-prefixed frame (u32 little-endian length, then that many bytes —
+// a p2p::wire frame).  Default implementations are provided in terms of
+// the byte-level primitives; wrappers override them to observe frame
+// boundaries (the natural unit for fault injection).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fairshare::net {
+
+/// Abstract bidirectional, connection-oriented transport.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Write all bytes; false on error/peer close.
+  virtual bool write_all(std::span<const std::byte> data) = 0;
+
+  /// Read exactly out.size() bytes; false on error/EOF.  When a recv
+  /// timeout is set and expires before the *first* byte arrives, returns
+  /// false with timed_out() true — the caller may safely retry.
+  virtual bool read_exact(std::span<std::byte> out) = 0;
+
+  /// Send one length-prefixed frame.  Default: header + write_all.
+  virtual bool write_frame(std::span<const std::byte> frame);
+
+  /// Receive one frame; nullopt on EOF/error/oversized (> max_len) frames.
+  /// A timeout that strikes mid-frame cannot be retried (the header is
+  /// already consumed) and reports as a hard error, not a timeout.
+  virtual std::optional<std::vector<std::byte>> read_frame(
+      std::size_t max_len);
+
+  /// Bound subsequent reads (0 = block forever).
+  virtual bool set_recv_timeout(int timeout_ms) = 0;
+  /// Bound subsequent writes (0 = block forever).
+  virtual bool set_send_timeout(int timeout_ms) = 0;
+
+  /// True when the last read failure was a clean (zero-byte) timeout.
+  virtual bool timed_out() const = 0;
+  /// Downgrade a clean timeout to a fatal error.
+  virtual void clear_timed_out() = 0;
+
+  /// True when at least one byte is readable within timeout_ms.
+  virtual bool readable(int timeout_ms) = 0;
+
+  virtual void close() = 0;
+  virtual bool valid() const = 0;
+};
+
+/// Send one length-prefixed frame (delegates to transport.write_frame).
+bool send_frame(Transport& transport, std::span<const std::byte> frame);
+
+/// Receive one frame (delegates to transport.read_frame).
+std::optional<std::vector<std::byte>> recv_frame(Transport& transport,
+                                                 std::size_t max_len);
+
+}  // namespace fairshare::net

@@ -116,10 +116,14 @@ TEST(NetSwarm, UnknownUserRejectedByServers) {
   DownloadOptions options;
   options.user_id = 8;
   options.user_key = &stranger;
+  // A server-side rejection looks like a dropped link to the client, so it
+  // would be retried; one attempt keeps the rejection count exact.
+  options.retry.max_attempts = 1;
   const DownloadReport report =
       download_file(swarm.endpoints, swarm.secret, swarm.info, options);
   EXPECT_FALSE(report.success);
   EXPECT_EQ(swarm.servers[0]->auth_rejections(), 1u);
+  EXPECT_EQ(report.sessions_failed, 1u);
   swarm.servers[0]->stop();
 }
 
