@@ -6,14 +6,28 @@
 //     makes about that figure (who wins, orderings, crossovers).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "gf/row_ops.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace fairshare::bench {
+
+/// A packed row of n uniformly random symbols of `f`, seeded for
+/// reproducibility.  Shared by the kernel microbenchmarks.
+inline std::vector<std::byte> random_row(const gf::FieldView& f,
+                                         std::size_t n, std::uint64_t seed) {
+  sim::SplitMix64 rng(seed);
+  std::vector<std::byte> row(f.row_bytes(n), std::byte{0});
+  for (std::size_t i = 0; i < n; ++i)
+    f.set(row.data(), i, rng.next() & (f.order - 1));
+  return row;
+}
 
 inline void header(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");

@@ -1,10 +1,23 @@
 // google-benchmark microbenchmarks of the hot kernels underlying Table II:
-// field row operations (the O(m k^2) elimination inner loop), scalar
-// multiplication, hashing, and the ChaCha20 coefficient stream.
+// field row operations (the O(m k^2) elimination inner loop), the full
+// decode pipeline those kernels feed, scalar multiplication, hashing, and
+// the ChaCha20 coefficient stream.
+//
+// Row-kernel benchmarks carry a `simd` axis: simd=0 pins the portable
+// scalar kernels (gf::scalar_field_view), simd=1 uses whatever
+// gf::field_view dispatched for this host; each row's label records the
+// kernel variant actually measured.  BM_DecodePipeline exercises the real
+// coding::FileDecoder, whose kernels come from the process-wide dispatch —
+// run the binary again under FAIRSHARE_FORCE_SCALAR_KERNELS=1 for the
+// scalar pipeline numbers (tools/bench_to_json.py merges the two runs into
+// the committed BENCH_kernels.json baseline).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "coding/decoder.hpp"
+#include "coding/encoder.hpp"
+#include "common.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/md5.hpp"
 #include "crypto/sha256.hpp"
@@ -16,32 +29,84 @@ namespace {
 
 using namespace fairshare;
 
-std::vector<std::byte> random_row(const gf::FieldView& f, std::size_t n,
-                                  std::uint64_t seed) {
-  sim::SplitMix64 rng(seed);
-  std::vector<std::byte> row(f.row_bytes(n), std::byte{0});
-  for (std::size_t i = 0; i < n; ++i)
-    f.set(row.data(), i, rng.next() & (f.order - 1));
-  return row;
+const gf::FieldView& view_for(std::int64_t simd, gf::FieldId id) {
+  return simd ? gf::field_view(id) : gf::scalar_field_view(id);
 }
 
 void BM_RowAxpy(benchmark::State& state) {
   const auto field = static_cast<gf::FieldId>(state.range(0));
   const std::size_t m = static_cast<std::size_t>(state.range(1));
-  const auto& f = gf::field_view(field);
-  auto dst = random_row(f, m, 1);
-  const auto src = random_row(f, m, 2);
+  const auto& f = view_for(state.range(2), field);
+  auto dst = bench::random_row(f, m, 1);
+  const auto src = bench::random_row(f, m, 2);
+  // Masking the constant into the field keeps it nonzero for every field
+  // (low byte 0x67), so the kernels stay on their general path.
   const std::uint64_t c = 0x1234567 & (f.order - 1);
   for (auto _ : state) {
-    f.axpy(dst.data(), src.data(), c ? c : 3, m);
+    f.axpy(dst.data(), src.data(), c, m);
     benchmark::DoNotOptimize(dst.data());
   }
+  state.SetLabel(f.kernel);
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(f.row_bytes(m)));
 }
 BENCHMARK(BM_RowAxpy)
-    ->ArgsProduct({{0, 1, 2, 3}, {1 << 13, 1 << 15}})
-    ->ArgNames({"field", "m"});
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 13, 1 << 15}, {0, 1}})
+    ->ArgNames({"field", "m", "simd"});
+
+void BM_RowScale(benchmark::State& state) {
+  const auto field = static_cast<gf::FieldId>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const auto& f = view_for(state.range(2), field);
+  auto row = bench::random_row(f, m, 3);
+  const std::uint64_t c = 0x1234567 & (f.order - 1);
+  for (auto _ : state) {
+    f.scale(row.data(), c, m);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetLabel(f.kernel);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.row_bytes(m)));
+}
+BENCHMARK(BM_RowScale)
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 15}, {0, 1}})
+    ->ArgNames({"field", "m", "simd"});
+
+// Full elimination pipeline at Table II parameters: decode 1 MB from k
+// fresh coded messages through the real coding::FileDecoder (coefficient
+// regeneration, digest checks, progressive Gaussian elimination).  The
+// paper's example point is (q = 2^32, m = 2^15); we sweep all four fields
+// at m = 2^15.  Kernels come from the process-wide dispatch — the label
+// records which variant ran.
+void BM_DecodePipeline(benchmark::State& state) {
+  const auto field = static_cast<gf::FieldId>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+
+  sim::SplitMix64 rng(42);
+  std::vector<std::byte> data(1u << 20);
+  for (auto& b : data) b = std::byte{static_cast<std::uint8_t>(rng.next())};
+
+  const coding::CodingParams params{field, m};
+  coding::SecretKey secret{};
+  secret[0] = 7;
+  coding::FileEncoder encoder(secret, 1, data, params);
+  const auto messages = encoder.generate(encoder.k());
+
+  for (auto _ : state) {
+    coding::FileDecoder decoder(secret, encoder.info());
+    for (const auto& msg : messages) decoder.add(msg);
+    if (!decoder.complete()) state.SkipWithError("decode incomplete");
+    benchmark::DoNotOptimize(decoder.rank());
+  }
+  state.SetLabel(gf::field_view(field).kernel);
+  state.counters["k"] = static_cast<double>(encoder.k());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_DecodePipeline)
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 15}})
+    ->ArgNames({"field", "m"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ScalarMul(benchmark::State& state) {
   const auto field = static_cast<gf::FieldId>(state.range(0));

@@ -1,12 +1,14 @@
 #include "gf/row_ops.hpp"
 
 #include <array>
-#include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "gf/field.hpp"
+#include "gf/row_ops_simd.hpp"
+#include "gf/window_tables.hpp"
 
 namespace fairshare::gf {
 
@@ -123,42 +125,10 @@ void gf8_scale(std::byte* row, std::uint64_t c, std::size_t n) {
 
 // --------------------------------------------- GF(2^16) / GF(2^32) window
 
-// Per-scalar window tables: W[b][v] = c * (v << 8b).  Built in O(256 * B)
-// xors per scalar via the gray-code recurrence W[v] = W[v & (v-1)] ^ cx[..],
-// then each symbol product is B lookups + B-1 xors.
-template <unsigned Bits>
-struct WindowTables {
-  using F = GF<Bits>;
-  using Elem = typename F::Elem;
-  static constexpr unsigned kBytes = Bits / 8;
-  std::array<std::array<Elem, 256>, kBytes> w;
-
-  explicit WindowTables(Elem c) {
-    // cx[j] = c * x^j for j in [0, Bits).
-    std::array<std::uint64_t, Bits> cx;
-    std::uint64_t v = c;
-    for (unsigned j = 0; j < Bits; ++j) {
-      cx[j] = v;
-      v <<= 1;
-      if ((v >> Bits) & 1) v ^= F::modulus;
-    }
-    for (unsigned b = 0; b < kBytes; ++b) {
-      w[b][0] = 0;
-      for (unsigned t = 1; t < 256; ++t) {
-        const unsigned low = t & (t - 1);
-        const unsigned j = static_cast<unsigned>(std::countr_zero(t));
-        w[b][t] = static_cast<Elem>(w[b][low] ^ cx[8 * b + j]);
-      }
-    }
-  }
-
-  Elem mul(Elem x) const {
-    Elem r = w[0][x & 0xFF];
-    for (unsigned b = 1; b < kBytes; ++b)
-      r = static_cast<Elem>(r ^ w[b][(x >> (8 * b)) & 0xFF]);
-    return r;
-  }
-};
+// Per-scalar window tables (gf/window_tables.hpp); each symbol product is
+// B lookups + B-1 xors.  This is the portable symbol-at-a-time consumer;
+// row_ops_simd.cpp widens it to 64-bit loads on little-endian hosts.
+using detail::WindowTables;
 
 template <unsigned Bits>
 std::size_t wide_row_bytes(std::size_t n) {
@@ -231,19 +201,69 @@ std::uint64_t scalar_pow(std::uint64_t a, std::uint64_t e) {
 
 }  // namespace
 
-const FieldView& field_view(FieldId id) {
+CpuFeatures cpu_features() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const CpuFeatures feat = [] {
+    CpuFeatures f;
+    f.ssse3 = __builtin_cpu_supports("ssse3") != 0;
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    return f;
+  }();
+  return feat;
+#else
+  return {};
+#endif
+}
+
+bool scalar_kernels_forced() {
+#ifdef FAIRSHARE_FORCE_SCALAR_KERNELS
+  return true;
+#else
+  static const bool forced = [] {
+    const char* v = std::getenv("FAIRSHARE_FORCE_SCALAR_KERNELS");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return forced;
+#endif
+}
+
+const FieldView& scalar_field_view(FieldId id) {
   static const FieldView views[4] = {
       {FieldId::gf2_4, 4, 16, &scalar_mul<4>, &scalar_inv<4>, &scalar_pow<4>,
-       &gf4_row_bytes, &gf4_get, &gf4_set, &gf4_axpy, &gf4_scale},
+       &gf4_row_bytes, &gf4_get, &gf4_set, &gf4_axpy, &gf4_scale, "scalar"},
       {FieldId::gf2_8, 8, 256, &scalar_mul<8>, &scalar_inv<8>, &scalar_pow<8>,
-       &gf8_row_bytes, &gf8_get, &gf8_set, &gf8_axpy, &gf8_scale},
+       &gf8_row_bytes, &gf8_get, &gf8_set, &gf8_axpy, &gf8_scale, "scalar"},
       {FieldId::gf2_16, 16, 65536, &scalar_mul<16>, &scalar_inv<16>,
        &scalar_pow<16>, &wide_row_bytes<16>, &wide_get<16>, &wide_set<16>,
-       &wide_axpy<16>, &wide_scale<16>},
+       &wide_axpy<16>, &wide_scale<16>, "scalar"},
       {FieldId::gf2_32, 32, std::uint64_t{1} << 32, &scalar_mul<32>,
        &scalar_inv<32>, &scalar_pow<32>, &wide_row_bytes<32>, &wide_get<32>,
-       &wide_set<32>, &wide_axpy<32>, &wide_scale<32>},
+       &wide_set<32>, &wide_axpy<32>, &wide_scale<32>, "scalar"},
   };
+  return views[static_cast<std::size_t>(id)];
+}
+
+const FieldView& field_view(FieldId id) {
+  // Dispatch runs exactly once (thread-safe magic static): start from the
+  // scalar views and overlay the best accelerated axpy/scale per field.
+  static const std::array<FieldView, 4> views = [] {
+    std::array<FieldView, 4> v{
+        scalar_field_view(FieldId::gf2_4), scalar_field_view(FieldId::gf2_8),
+        scalar_field_view(FieldId::gf2_16),
+        scalar_field_view(FieldId::gf2_32)};
+    if (scalar_kernels_forced()) return v;
+    const CpuFeatures feat = cpu_features();
+    for (auto& fv : v) {
+      const detail::RowKernels k = detail::accelerated_row_kernels(fv.id, feat);
+      if (k.axpy != nullptr) {
+        fv.axpy = k.axpy;
+        fv.scale = k.scale;
+        fv.kernel = k.name;
+      }
+    }
+    return v;
+  }();
   return views[static_cast<std::size_t>(id)];
 }
 

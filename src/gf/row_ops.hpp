@@ -13,11 +13,20 @@
 // received payloads with no unpacking pass.
 //
 // Row operations are where virtually all decode time is spent (the paper's
-// Table II cost O(m k^2) dominates the O(k^3) coefficient inversion), so:
-//   * GF(2^4)/GF(2^8) use premultiplied byte tables (one lookup+xor/byte);
-//   * GF(2^16)/GF(2^32) build per-scalar window tables (2 resp. 4 tables of
-//     256 entries, built once per (scalar, row) pair and amortized over the
-//     m >= 8192 symbols of a message).
+// Table II cost O(m k^2) dominates the O(k^3) coefficient inversion), so
+// `field_view()` dispatches each field's axpy/scale to the fastest kernel
+// the host supports, selected once at first use:
+//   * GF(2^4)/GF(2^8): SSSE3/AVX2 split-nibble shuffle kernels (two
+//     16-entry pshufb tables per scalar, 16/32 bytes per step) on x86,
+//     falling back to premultiplied byte tables (one lookup+xor/byte);
+//   * GF(2^16)/GF(2^32): per-scalar window tables (2 resp. 4 tables of 256
+//     entries, built once per (scalar, row) pair and amortized over the
+//     m >= 8192 symbols of a message), consumed 64 bits per load on
+//     little-endian hosts and symbol-at-a-time otherwise.
+// Setting the FAIRSHARE_FORCE_SCALAR_KERNELS environment variable (or the
+// CMake option of the same name) pins every field to the portable scalar
+// path; `scalar_field_view()` exposes that path unconditionally so tests
+// and benchmarks can compare the two in one process.
 #pragma once
 
 #include <cstddef>
@@ -55,10 +64,37 @@ struct FieldView {
                std::size_t n);
   /// row *= c over n symbols.
   void (*scale)(std::byte* row, std::uint64_t c, std::size_t n);
+
+  /// Name of the row-kernel variant axpy/scale dispatched to: "scalar",
+  /// "ssse3", "avx2", or "window64".  Diagnostic only — perf reports use it
+  /// to attribute numbers to a code path.
+  const char* kernel;
 };
 
-/// The shared FieldView for `id`.  Thread-safe; tables are built lazily on
-/// first use.
+/// CPU features relevant to kernel dispatch, detected once at runtime.
+/// All false on non-x86 builds.
+struct CpuFeatures {
+  bool ssse3 = false;
+  bool avx2 = false;
+};
+
+/// Detected features of the host CPU (cached after the first call).
+CpuFeatures cpu_features();
+
+/// True when kernel dispatch is pinned to the portable scalar path, either
+/// by compiling with -DFAIRSHARE_FORCE_SCALAR_KERNELS=ON or by setting the
+/// FAIRSHARE_FORCE_SCALAR_KERNELS environment variable to anything but
+/// "0"/"" before the first field_view() call.
+bool scalar_kernels_forced();
+
+/// The shared FieldView for `id` with axpy/scale dispatched to the fastest
+/// supported kernel.  Thread-safe; dispatch runs once and tables are built
+/// lazily on first use.
 const FieldView& field_view(FieldId id);
+
+/// The portable scalar FieldView for `id`, regardless of dispatch.  The
+/// differential tests and the benchmark scalar-vs-SIMD axis diff this
+/// against field_view(); everything else should use field_view().
+const FieldView& scalar_field_view(FieldId id);
 
 }  // namespace fairshare::gf

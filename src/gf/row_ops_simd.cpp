@@ -1,0 +1,482 @@
+// Accelerated row kernels behind runtime CPU dispatch (see row_ops.hpp for
+// the dispatch contract and DESIGN.md "Row-kernel dispatch" for the
+// technique).
+//
+//   * GF(2^4)/GF(2^8): the GF-Complete split-nibble shuffle.  A product
+//     c*b over GF(2^8) splits as c*(b & 0xF) ^ c*(b >> 4 << 4); both halves
+//     range over 16 values, so two 16-entry tables per scalar turn pshufb
+//     into 16 (SSSE3) or 32 (AVX2) byte-products per instruction pair.
+//     GF(2^4) packs two symbols per byte and needs only one 16-entry table,
+//     applied to each nibble lane.
+//   * GF(2^16)/GF(2^32): the same per-scalar window tables as the scalar
+//     path, but consumed through unrolled 64-bit loads (4 resp. 2 symbols
+//     per load) instead of one memcpy per symbol.  Little-endian only; the
+//     lane order of a u64 must match symbol order for the byte-extraction
+//     shifts to index the right window.
+//
+// Every kernel here is bit-identical to its scalar counterpart, including
+// the multiplied padding nibble of an odd-length GF(2^4) row — the
+// differential suite (tests/gf/simd_dispatch_test.cpp) diffs whole buffers.
+#include "gf/row_ops_simd.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "gf/field.hpp"
+#include "gf/window_tables.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FAIRSHARE_HAVE_X86_KERNELS 1
+#include <immintrin.h>
+#else
+#define FAIRSHARE_HAVE_X86_KERNELS 0
+#endif
+
+namespace fairshare::gf::detail {
+
+namespace {
+
+// ------------------------------------------------- per-scalar nibble tables
+
+// GF(2^4): N[c][v] = c*v, value in the low nibble.  One 16-entry shuffle
+// table covers both nibble lanes of a packed byte.
+struct Gf4NibbleTable {
+  alignas(16) std::uint8_t t[16][16];
+  Gf4NibbleTable() {
+    for (unsigned c = 0; c < 16; ++c)
+      for (unsigned v = 0; v < 16; ++v)
+        t[c][v] = GF<4>::mul(static_cast<std::uint8_t>(c),
+                             static_cast<std::uint8_t>(v));
+  }
+};
+
+const Gf4NibbleTable& gf4_nibble_table() {
+  static const Gf4NibbleTable tab;
+  return tab;
+}
+
+// GF(2^8): lo[c][v] = c*v, hi[c][v] = c*(v << 4); c*b = lo[b&0xF] ^ hi[b>>4].
+struct Gf8NibbleTables {
+  alignas(16) std::uint8_t lo[256][16];
+  alignas(16) std::uint8_t hi[256][16];
+  Gf8NibbleTables() {
+    for (unsigned c = 0; c < 256; ++c)
+      for (unsigned v = 0; v < 16; ++v) {
+        lo[c][v] = GF<8>::mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(v));
+        hi[c][v] = GF<8>::mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(v << 4));
+      }
+  }
+};
+
+const Gf8NibbleTables& gf8_nibble_tables() {
+  static const Gf8NibbleTables tab;
+  return tab;
+}
+
+// Scalar tails of the vector loops, built on the same tables so results
+// stay bit-identical whichever loop handled a byte.
+inline std::uint8_t gf4_byte_product(const std::uint8_t* nib, std::uint8_t b) {
+  return static_cast<std::uint8_t>(nib[b & 0xF] | (nib[b >> 4] << 4));
+}
+
+inline std::uint8_t gf8_byte_product(const std::uint8_t* lo,
+                                     const std::uint8_t* hi, std::uint8_t b) {
+  return static_cast<std::uint8_t>(lo[b & 0xF] ^ hi[b >> 4]);
+}
+
+#if FAIRSHARE_HAVE_X86_KERNELS
+
+#define FAIRSHARE_TARGET(isa) __attribute__((target(isa)))
+
+// ----------------------------------------------------------- SSSE3 kernels
+
+FAIRSHARE_TARGET("ssse3")
+void gf4_axpy_ssse3(std::byte* dst, const std::byte* src, std::uint64_t c,
+                    std::size_t n) {
+  if (c == 0) return;
+  const std::size_t nb = (n + 1) / 2;
+  std::size_t i = 0;
+  if (c == 1) {
+    const __m128i* s128 = reinterpret_cast<const __m128i*>(src);
+    __m128i* d128 = reinterpret_cast<__m128i*>(dst);
+    for (; i + 16 <= nb; i += 16, ++s128, ++d128)
+      _mm_storeu_si128(d128, _mm_xor_si128(_mm_loadu_si128(d128),
+                                           _mm_loadu_si128(s128)));
+    for (; i < nb; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* nib = gf4_nibble_table().t[c & 0xF];
+  const __m128i tab = _mm_load_si128(reinterpret_cast<const __m128i*>(nib));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  for (; i + 16 <= nb; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(s, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+    // Products are 4-bit, so the high nibbles of ph are zero and a 64-bit
+    // lane shift by 4 cannot leak bits across byte boundaries.
+    const __m128i p = _mm_or_si128(_mm_shuffle_epi8(tab, lo),
+                                   _mm_slli_epi64(_mm_shuffle_epi8(tab, hi), 4));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, p));
+  }
+  for (; i < nb; ++i)
+    dst[i] ^= std::byte{gf4_byte_product(nib, std::to_integer<std::uint8_t>(src[i]))};
+}
+
+FAIRSHARE_TARGET("ssse3")
+void gf4_scale_ssse3(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  const std::size_t nb = (n + 1) / 2;
+  const std::uint8_t* nib = gf4_nibble_table().t[c & 0xF];
+  const __m128i tab = _mm_load_si128(reinterpret_cast<const __m128i*>(nib));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= nb; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i));
+    const __m128i lo = _mm_and_si128(s, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+    const __m128i p = _mm_or_si128(_mm_shuffle_epi8(tab, lo),
+                                   _mm_slli_epi64(_mm_shuffle_epi8(tab, hi), 4));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(row + i), p);
+  }
+  for (; i < nb; ++i)
+    row[i] = std::byte{gf4_byte_product(nib, std::to_integer<std::uint8_t>(row[i]))};
+}
+
+FAIRSHARE_TARGET("ssse3")
+void gf8_axpy_ssse3(std::byte* dst, const std::byte* src, std::uint64_t c,
+                    std::size_t n) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 16 <= n; i += 16) {
+      const __m128i s =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_xor_si128(d, s));
+    }
+    for (; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& tabs = gf8_nibble_tables();
+  const std::uint8_t* lo8 = tabs.lo[c & 0xFF];
+  const std::uint8_t* hi8 = tabs.hi[c & 0xFF];
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo8));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi8));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(s, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+    const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo),
+                                    _mm_shuffle_epi8(thi, hi));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, p));
+  }
+  for (; i < n; ++i)
+    dst[i] ^= std::byte{
+        gf8_byte_product(lo8, hi8, std::to_integer<std::uint8_t>(src[i]))};
+}
+
+FAIRSHARE_TARGET("ssse3")
+void gf8_scale_ssse3(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  const auto& tabs = gf8_nibble_tables();
+  const std::uint8_t* lo8 = tabs.lo[c & 0xFF];
+  const std::uint8_t* hi8 = tabs.hi[c & 0xFF];
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo8));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi8));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i));
+    const __m128i lo = _mm_and_si128(s, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(row + i),
+                     _mm_xor_si128(_mm_shuffle_epi8(tlo, lo),
+                                   _mm_shuffle_epi8(thi, hi)));
+  }
+  for (; i < n; ++i)
+    row[i] = std::byte{
+        gf8_byte_product(lo8, hi8, std::to_integer<std::uint8_t>(row[i]))};
+}
+
+// ------------------------------------------------------------ AVX2 kernels
+
+FAIRSHARE_TARGET("avx2")
+void gf4_axpy_avx2(std::byte* dst, const std::byte* src, std::uint64_t c,
+                   std::size_t n) {
+  if (c == 0) return;
+  const std::size_t nb = (n + 1) / 2;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 32 <= nb; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, s));
+    }
+    for (; i < nb; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* nib = gf4_nibble_table().t[c & 0xF];
+  const __m256i tab = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  for (; i + 32 <= nb; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(s, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+    const __m256i p =
+        _mm256_or_si256(_mm256_shuffle_epi8(tab, lo),
+                        _mm256_slli_epi64(_mm256_shuffle_epi8(tab, hi), 4));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  for (; i < nb; ++i)
+    dst[i] ^= std::byte{gf4_byte_product(nib, std::to_integer<std::uint8_t>(src[i]))};
+}
+
+FAIRSHARE_TARGET("avx2")
+void gf4_scale_avx2(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  const std::size_t nb = (n + 1) / 2;
+  const std::uint8_t* nib = gf4_nibble_table().t[c & 0xF];
+  const __m256i tab = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= nb; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    const __m256i lo = _mm256_and_si256(s, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(row + i),
+        _mm256_or_si256(_mm256_shuffle_epi8(tab, lo),
+                        _mm256_slli_epi64(_mm256_shuffle_epi8(tab, hi), 4)));
+  }
+  for (; i < nb; ++i)
+    row[i] = std::byte{gf4_byte_product(nib, std::to_integer<std::uint8_t>(row[i]))};
+}
+
+FAIRSHARE_TARGET("avx2")
+void gf8_axpy_avx2(std::byte* dst, const std::byte* src, std::uint64_t c,
+                   std::size_t n) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 32 <= n; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, s));
+    }
+    for (; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& tabs = gf8_nibble_tables();
+  const std::uint8_t* lo8 = tabs.lo[c & 0xFF];
+  const std::uint8_t* hi8 = tabs.hi[c & 0xFF];
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(lo8)));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(hi8)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(s, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+    const __m256i p = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                       _mm256_shuffle_epi8(thi, hi));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  for (; i < n; ++i)
+    dst[i] ^= std::byte{
+        gf8_byte_product(lo8, hi8, std::to_integer<std::uint8_t>(src[i]))};
+}
+
+FAIRSHARE_TARGET("avx2")
+void gf8_scale_avx2(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  const auto& tabs = gf8_nibble_tables();
+  const std::uint8_t* lo8 = tabs.lo[c & 0xFF];
+  const std::uint8_t* hi8 = tabs.hi[c & 0xFF];
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(lo8)));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(hi8)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    const __m256i lo = _mm256_and_si256(s, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i),
+                        _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                         _mm256_shuffle_epi8(thi, hi)));
+  }
+  for (; i < n; ++i)
+    row[i] = std::byte{
+        gf8_byte_product(lo8, hi8, std::to_integer<std::uint8_t>(row[i]))};
+}
+
+#undef FAIRSHARE_TARGET
+
+#endif  // FAIRSHARE_HAVE_X86_KERNELS
+
+// ----------------------------------------- GF(2^16)/GF(2^32) window64
+
+// Window-table products consumed 64 bits per load: 4 GF(2^16) or 2
+// GF(2^32) symbols per iteration, byte-extracted with shifts instead of
+// one memcpy per symbol.  Little-endian only (symbol s must occupy bits
+// [Bits*s, Bits*(s+1)) of the loaded word).
+template <unsigned Bits>
+void wide_axpy_win64(std::byte* dst, const std::byte* src, std::uint64_t c,
+                     std::size_t n) {
+  using Elem = typename GF<Bits>::Elem;
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n * sizeof(Elem); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const WindowTables<Bits> tab(static_cast<Elem>(c));
+  constexpr std::size_t kSyms = 64 / Bits;
+  const std::size_t words = n / kSyms;
+  const std::byte* s = src;
+  std::byte* d = dst;
+  for (std::size_t w = 0; w < words; ++w, s += 8, d += 8) {
+    std::uint64_t x, y;
+    std::memcpy(&x, s, 8);
+    std::memcpy(&y, d, 8);
+    std::uint64_t r;
+    if constexpr (Bits == 16) {
+      r = static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+          tab.w[0][x & 0xFF] ^ tab.w[1][(x >> 8) & 0xFF]));
+      r |= static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+               tab.w[0][(x >> 16) & 0xFF] ^ tab.w[1][(x >> 24) & 0xFF]))
+           << 16;
+      r |= static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+               tab.w[0][(x >> 32) & 0xFF] ^ tab.w[1][(x >> 40) & 0xFF]))
+           << 32;
+      r |= static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+               tab.w[0][(x >> 48) & 0xFF] ^ tab.w[1][(x >> 56) & 0xFF]))
+           << 48;
+    } else {
+      static_assert(Bits == 32);
+      r = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+          tab.w[0][x & 0xFF] ^ tab.w[1][(x >> 8) & 0xFF] ^
+          tab.w[2][(x >> 16) & 0xFF] ^ tab.w[3][(x >> 24) & 0xFF]));
+      r |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               tab.w[0][(x >> 32) & 0xFF] ^ tab.w[1][(x >> 40) & 0xFF] ^
+               tab.w[2][(x >> 48) & 0xFF] ^ tab.w[3][(x >> 56) & 0xFF]))
+           << 32;
+    }
+    y ^= r;
+    std::memcpy(d, &y, 8);
+  }
+  for (std::size_t i = words * kSyms; i < n; ++i) {
+    Elem x, y;
+    std::memcpy(&x, src + i * sizeof(Elem), sizeof(Elem));
+    std::memcpy(&y, dst + i * sizeof(Elem), sizeof(Elem));
+    y = static_cast<Elem>(y ^ tab.mul(x));
+    std::memcpy(dst + i * sizeof(Elem), &y, sizeof(Elem));
+  }
+}
+
+template <unsigned Bits>
+void wide_scale_win64(std::byte* row, std::uint64_t c, std::size_t n) {
+  using Elem = typename GF<Bits>::Elem;
+  if (c == 1) return;
+  const WindowTables<Bits> tab(static_cast<Elem>(c));
+  constexpr std::size_t kSyms = 64 / Bits;
+  const std::size_t words = n / kSyms;
+  std::byte* p = row;
+  for (std::size_t w = 0; w < words; ++w, p += 8) {
+    std::uint64_t x;
+    std::memcpy(&x, p, 8);
+    std::uint64_t r;
+    if constexpr (Bits == 16) {
+      r = static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+          tab.w[0][x & 0xFF] ^ tab.w[1][(x >> 8) & 0xFF]));
+      r |= static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+               tab.w[0][(x >> 16) & 0xFF] ^ tab.w[1][(x >> 24) & 0xFF]))
+           << 16;
+      r |= static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+               tab.w[0][(x >> 32) & 0xFF] ^ tab.w[1][(x >> 40) & 0xFF]))
+           << 32;
+      r |= static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+               tab.w[0][(x >> 48) & 0xFF] ^ tab.w[1][(x >> 56) & 0xFF]))
+           << 48;
+    } else {
+      static_assert(Bits == 32);
+      r = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+          tab.w[0][x & 0xFF] ^ tab.w[1][(x >> 8) & 0xFF] ^
+          tab.w[2][(x >> 16) & 0xFF] ^ tab.w[3][(x >> 24) & 0xFF]));
+      r |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               tab.w[0][(x >> 32) & 0xFF] ^ tab.w[1][(x >> 40) & 0xFF] ^
+               tab.w[2][(x >> 48) & 0xFF] ^ tab.w[3][(x >> 56) & 0xFF]))
+           << 32;
+    }
+    std::memcpy(p, &r, 8);
+  }
+  for (std::size_t i = words * kSyms; i < n; ++i) {
+    Elem x;
+    std::memcpy(&x, row + i * sizeof(Elem), sizeof(Elem));
+    x = tab.mul(x);
+    std::memcpy(row + i * sizeof(Elem), &x, sizeof(Elem));
+  }
+}
+
+}  // namespace
+
+RowKernels accelerated_row_kernels(FieldId id, const CpuFeatures& feat) {
+  switch (id) {
+    case FieldId::gf2_4:
+#if FAIRSHARE_HAVE_X86_KERNELS
+      if (feat.avx2) return {&gf4_axpy_avx2, &gf4_scale_avx2, "avx2"};
+      if (feat.ssse3) return {&gf4_axpy_ssse3, &gf4_scale_ssse3, "ssse3"};
+#endif
+      break;
+    case FieldId::gf2_8:
+#if FAIRSHARE_HAVE_X86_KERNELS
+      if (feat.avx2) return {&gf8_axpy_avx2, &gf8_scale_avx2, "avx2"};
+      if (feat.ssse3) return {&gf8_axpy_ssse3, &gf8_scale_ssse3, "ssse3"};
+#endif
+      break;
+    case FieldId::gf2_16:
+      if constexpr (std::endian::native == std::endian::little)
+        return {&wide_axpy_win64<16>, &wide_scale_win64<16>, "window64"};
+      break;
+    case FieldId::gf2_32:
+      if constexpr (std::endian::native == std::endian::little)
+        return {&wide_axpy_win64<32>, &wide_scale_win64<32>, "window64"};
+      break;
+  }
+  (void)feat;
+  return {};
+}
+
+}  // namespace fairshare::gf::detail

@@ -1,0 +1,33 @@
+// Internal: accelerated row-kernel variants behind runtime CPU dispatch.
+//
+// row_ops.cpp calls accelerated_row_kernels() once per field while building
+// the dispatched FieldView table; this header is not installed and must not
+// be included outside src/gf.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/field_id.hpp"
+#include "gf/row_ops.hpp"
+
+namespace fairshare::gf::detail {
+
+/// One axpy/scale pair plus the name reported through FieldView::kernel.
+/// `axpy == nullptr` means no accelerated variant applies and the caller
+/// keeps the scalar kernels.
+struct RowKernels {
+  void (*axpy)(std::byte* dst, const std::byte* src, std::uint64_t c,
+               std::size_t n) = nullptr;
+  void (*scale)(std::byte* row, std::uint64_t c, std::size_t n) = nullptr;
+  const char* name = nullptr;
+};
+
+/// Best accelerated kernel pair for `id` given the detected `feat`:
+/// pshufb split-nibble kernels for GF(2^4)/GF(2^8) (AVX2 preferred over
+/// SSSE3), widened 64-bit window kernels for GF(2^16)/GF(2^32) on
+/// little-endian hosts.  Every variant returned here is bit-identical to
+/// the scalar kernels (tests/gf/simd_dispatch_test.cpp holds them to it).
+RowKernels accelerated_row_kernels(FieldId id, const CpuFeatures& feat);
+
+}  // namespace fairshare::gf::detail

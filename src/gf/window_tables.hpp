@@ -1,0 +1,53 @@
+// Internal: per-scalar window tables for the wide fields GF(2^16)/GF(2^32).
+//
+// W[b][v] = c * (v << 8b), so a symbol product is kBytes lookups plus
+// kBytes-1 xors.  Built in O(256 * kBytes) xors per scalar via the
+// gray-code recurrence W[v] = W[v & (v-1)] ^ cx[...], then amortized over
+// the m >= 8192 symbols of a message row.  Shared between the portable
+// per-symbol kernels (row_ops.cpp) and the widened 64-bit kernels
+// (row_ops_simd.cpp).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "gf/field.hpp"
+
+namespace fairshare::gf::detail {
+
+template <unsigned Bits>
+struct WindowTables {
+  using F = GF<Bits>;
+  using Elem = typename F::Elem;
+  static constexpr unsigned kBytes = Bits / 8;
+  std::array<std::array<Elem, 256>, kBytes> w;
+
+  explicit WindowTables(Elem c) {
+    // cx[j] = c * x^j for j in [0, Bits).
+    std::array<std::uint64_t, Bits> cx;
+    std::uint64_t v = c;
+    for (unsigned j = 0; j < Bits; ++j) {
+      cx[j] = v;
+      v <<= 1;
+      if ((v >> Bits) & 1) v ^= F::modulus;
+    }
+    for (unsigned b = 0; b < kBytes; ++b) {
+      w[b][0] = 0;
+      for (unsigned t = 1; t < 256; ++t) {
+        const unsigned low = t & (t - 1);
+        const unsigned j = static_cast<unsigned>(std::countr_zero(t));
+        w[b][t] = static_cast<Elem>(w[b][low] ^ cx[8 * b + j]);
+      }
+    }
+  }
+
+  Elem mul(Elem x) const {
+    Elem r = w[0][x & 0xFF];
+    for (unsigned b = 1; b < kBytes; ++b)
+      r = static_cast<Elem>(r ^ w[b][(x >> (8 * b)) & 0xFF]);
+    return r;
+  }
+};
+
+}  // namespace fairshare::gf::detail

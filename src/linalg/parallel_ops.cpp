@@ -6,13 +6,27 @@ namespace fairshare::linalg {
 
 namespace {
 
-// Below this many symbols the fan-out overhead outweighs the work.
-constexpr std::size_t kSerialThreshold = 4096;
+// The SIMD row kernels chew through symbols an order of magnitude faster
+// than the old table loops, so fan-out pays off much later: every worker
+// must get at least this many symbols or the wake/join overhead dominates
+// the kernel time it saves.
+constexpr std::size_t kMinChunkSymbols = 16384;
 
-// Even segment length covering n symbols in `jobs` pieces.
-std::size_t segment_symbols(std::size_t n, std::size_t jobs) {
+// Segment length covering n symbols in at most `jobs` pieces.  Boundaries
+// are rounded up to a whole 64-byte block of the packed row so (a) GF(2^4)
+// nibble pairs never straddle a split and (b) every non-final segment is a
+// whole number of AVX2 steps — workers never run the scalar tail loop in
+// the middle of a row.
+std::size_t segment_symbols(std::size_t n, std::size_t jobs, unsigned bits) {
+  const std::size_t align = 512 / bits;  // symbols per 64 packed bytes
   const std::size_t raw = (n + jobs - 1) / jobs;
-  return (raw + 1) & ~std::size_t{1};
+  return (raw + align - 1) / align * align;
+}
+
+// Workers that leave at least kMinChunkSymbols each; <= 1 means serial.
+std::size_t plan_jobs(const util::ThreadPool* pool, std::size_t n) {
+  if (pool == nullptr || pool->size() <= 1) return 1;
+  return std::min(pool->size(), n / kMinChunkSymbols);
 }
 
 }  // namespace
@@ -20,12 +34,12 @@ std::size_t segment_symbols(std::size_t n, std::size_t jobs) {
 void parallel_axpy(const gf::FieldView& f, std::byte* dst,
                    const std::byte* src, std::uint64_t c, std::size_t n,
                    util::ThreadPool* pool) {
-  if (pool == nullptr || pool->size() <= 1 || n < kSerialThreshold) {
+  const std::size_t jobs = plan_jobs(pool, n);
+  if (jobs <= 1) {
     f.axpy(dst, src, c, n);
     return;
   }
-  const std::size_t jobs = pool->size();
-  const std::size_t seg = segment_symbols(n, jobs);
+  const std::size_t seg = segment_symbols(n, jobs, f.bits);
   pool->parallel_for(jobs, [&](std::size_t j) {
     const std::size_t begin = j * seg;
     if (begin >= n) return;
@@ -37,12 +51,12 @@ void parallel_axpy(const gf::FieldView& f, std::byte* dst,
 
 void parallel_scale(const gf::FieldView& f, std::byte* row, std::uint64_t c,
                     std::size_t n, util::ThreadPool* pool) {
-  if (pool == nullptr || pool->size() <= 1 || n < kSerialThreshold) {
+  const std::size_t jobs = plan_jobs(pool, n);
+  if (jobs <= 1) {
     f.scale(row, c, n);
     return;
   }
-  const std::size_t jobs = pool->size();
-  const std::size_t seg = segment_symbols(n, jobs);
+  const std::size_t seg = segment_symbols(n, jobs, f.bits);
   pool->parallel_for(jobs, [&](std::size_t j) {
     const std::size_t begin = j * seg;
     if (begin >= n) return;

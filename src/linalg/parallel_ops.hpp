@@ -13,8 +13,12 @@
 namespace fairshare::linalg {
 
 /// dst ^= c * src over n symbols, fanned out over `pool` (nullptr or small
-/// n falls back to the serial kernel).  Segment boundaries are kept even
-/// so GF(2^4) nibble packing stays byte-aligned.
+/// n falls back to the serial kernel).  Fan-out only happens when every
+/// worker gets a large minimum chunk (the SIMD kernels are fast enough
+/// that small rows are cheaper serial), and segment boundaries land on
+/// 64-byte blocks of the packed row so GF(2^4) nibble packing stays
+/// byte-aligned and splits compose with the vector kernels instead of
+/// forcing scalar tails mid-row.
 void parallel_axpy(const gf::FieldView& f, std::byte* dst,
                    const std::byte* src, std::uint64_t c, std::size_t n,
                    util::ThreadPool* pool);

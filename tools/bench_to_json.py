@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Condense google-benchmark JSON output into the committed perf baseline.
+
+Usage:
+  bench_to_json.py NATIVE.json [--scalar SCALAR.json] [-o BENCH_kernels.json]
+
+NATIVE.json is a --benchmark_out=json run with the host's dispatched
+kernels; SCALAR.json is the same binary re-run under
+FAIRSHARE_FORCE_SCALAR_KERNELS=1 (the in-process `simd` axis covers the
+row kernels, but BM_DecodePipeline exercises the process-wide dispatch and
+needs the second run).  The output strips volatile context (dates, load
+average, paths) so diffs against the committed baseline show perf drift,
+not noise, and records per-benchmark speedups so regressions are a single
+number to eyeball.
+
+Typically invoked via the `bench_baseline` CMake target, which writes
+BENCH_kernels.json at the repo root.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_run(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def condense_entries(doc):
+    out = []
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "name": b["name"],
+            "iterations": b.get("iterations"),
+            "real_time_ns": round(to_ns(b.get("real_time", 0.0),
+                                        b.get("time_unit", "ns")), 1),
+        }
+        if "bytes_per_second" in b:
+            entry["bytes_per_second"] = round(b["bytes_per_second"], 1)
+        if b.get("label"):
+            entry["kernel"] = b["label"]
+        if "k" in b:
+            entry["k"] = b["k"]
+        if b.get("error_occurred"):
+            entry["error"] = b.get("error_message", "unknown")
+        out.append(entry)
+    out.sort(key=lambda e: e["name"])
+    return out
+
+
+def to_ns(value, unit):
+    return value * {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+
+
+def host_context(doc):
+    ctx = doc.get("context", {})
+    return {
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
+        "build_type": ctx.get("library_build_type"),
+    }
+
+
+def by_name(entries):
+    return {e["name"]: e for e in entries}
+
+
+def speedups(native, scalar):
+    """SIMD-over-scalar ratios: in-run for the simd axis, cross-run for the
+    dispatched pipeline."""
+    out = {}
+    native_by = by_name(native)
+    for name, entry in sorted(native_by.items()):
+        if "/simd:1" in name:
+            base = native_by.get(name.replace("/simd:1", "/simd:0"))
+            if base and entry["real_time_ns"] > 0:
+                out[name] = round(base["real_time_ns"] / entry["real_time_ns"], 2)
+    if scalar:
+        scalar_by = by_name(scalar)
+        for name, entry in sorted(native_by.items()):
+            if name.startswith("BM_DecodePipeline"):
+                base = scalar_by.get(name)
+                if base and entry["real_time_ns"] > 0:
+                    out[name] = round(base["real_time_ns"] / entry["real_time_ns"], 2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("native", help="benchmark JSON from the dispatched run")
+    ap.add_argument("--scalar", help="benchmark JSON from the "
+                    "FAIRSHARE_FORCE_SCALAR_KERNELS=1 run")
+    ap.add_argument("-o", "--output", default="BENCH_kernels.json")
+    args = ap.parse_args()
+
+    native_doc = load_run(args.native)
+    scalar_doc = load_run(args.scalar) if args.scalar else None
+
+    native = condense_entries(native_doc)
+    scalar = condense_entries(scalar_doc) if scalar_doc else []
+    if not native:
+        sys.exit("no benchmark entries in " + args.native)
+
+    baseline = {
+        "schema": 1,
+        "generated_by": "tools/bench_to_json.py (cmake --build build --target bench_baseline)",
+        "host": host_context(native_doc),
+        "speedup_simd_over_scalar": speedups(native, scalar),
+        "runs": {"native": native},
+    }
+    if scalar:
+        baseline["runs"]["forced_scalar"] = scalar
+
+    with open(args.output, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print("wrote %s (%d native entries, %d forced-scalar entries)"
+          % (args.output, len(native), len(scalar)))
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,11 @@
 //   fairshare_cli decode  <info.bin> <out-file> --secret <passphrase>
 //                 <message files...>
 //   fairshare_cli info    <info.bin>
+//   fairshare_cli caps    (alias: version)
+//
+// caps prints the build version, detected CPU features, and the row-kernel
+// variant each field dispatched to, so perf reports are attributable to a
+// code path.
 //
 // encode writes out-dir/info.bin (the wire-format FileInfo the user
 // carries) and out-dir/msg_<id>.bin (one framed coded message each —
@@ -22,7 +27,12 @@
 #include "coding/decoder.hpp"
 #include "coding/encoder.hpp"
 #include "crypto/sha256.hpp"
+#include "gf/row_ops.hpp"
 #include "p2p/wire.hpp"
+
+#ifndef FAIRSHARE_VERSION
+#define FAIRSHARE_VERSION "dev"
+#endif
 
 namespace fs = std::filesystem;
 using namespace fairshare;
@@ -36,7 +46,9 @@ int usage() {
                " [--field 4|8|16|32] [--m N] [--messages N]\n"
                "  fairshare_cli decode <info.bin> <out-file> --secret <pass>"
                " <message files...>\n"
-               "  fairshare_cli info <info.bin>\n");
+               "  fairshare_cli info <info.bin>\n"
+               "  fairshare_cli caps   (print CPU features and dispatched"
+               " row kernels; alias: version)\n");
   return 2;
 }
 
@@ -242,6 +254,21 @@ int cmd_info(const Options& opt) {
   return 0;
 }
 
+int cmd_caps() {
+  const gf::CpuFeatures feat = gf::cpu_features();
+  std::printf("fairshare %s\n", FAIRSHARE_VERSION);
+  std::printf("cpu features   : ssse3=%s avx2=%s\n", feat.ssse3 ? "yes" : "no",
+              feat.avx2 ? "yes" : "no");
+  std::printf("scalar forced  : %s\n", gf::scalar_kernels_forced()
+                                           ? "yes (env/CMake pin)"
+                                           : "no");
+  std::printf("row kernels    :\n");
+  for (const gf::FieldId id : gf::kAllFields)
+    std::printf("  %-9s -> %s\n", std::string(gf::field_name(id)).c_str(),
+                gf::field_view(id).kernel);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -252,5 +279,6 @@ int main(int argc, char** argv) {
   if (cmd == "encode") return cmd_encode(opt);
   if (cmd == "decode") return cmd_decode(opt);
   if (cmd == "info") return cmd_info(opt);
+  if (cmd == "caps" || cmd == "version") return cmd_caps();
   return usage();
 }
