@@ -1,0 +1,35 @@
+#include "alloc/observed_policy.hpp"
+
+namespace fairshare::alloc {
+
+ObservedPolicy::ObservedPolicy(std::unique_ptr<AllocationPolicy> inner,
+                               obs::MetricsRegistry& registry,
+                               std::string peer_label)
+    : inner_(std::move(inner)),
+      registry_(registry),
+      peer_label_(std::move(peer_label)),
+      allocations_(&registry.counter("fairshare_alloc_allocations_total",
+                                     {{"peer", peer_label_}})),
+      feedback_(&registry.counter("fairshare_alloc_feedback_total",
+                                  {{"peer", peer_label_}})) {}
+
+void ObservedPolicy::allocate(const PeerContext& ctx, std::span<double> out) {
+  inner_->allocate(ctx, out);
+  allocations_->add();
+  if (share_gauges_.size() < out.size()) {
+    share_gauges_.reserve(out.size());
+    for (std::size_t j = share_gauges_.size(); j < out.size(); ++j)
+      share_gauges_.push_back(&registry_.gauge(
+          "fairshare_alloc_share_kbps",
+          {{"peer", peer_label_}, {"user", std::to_string(j)}}));
+  }
+  for (std::size_t j = 0; j < out.size(); ++j)
+    share_gauges_[j]->set(ctx.requesting[j] ? out[j] : 0.0);
+}
+
+void ObservedPolicy::observe(const SlotFeedback& feedback) {
+  inner_->observe(feedback);
+  feedback_->add();
+}
+
+}  // namespace fairshare::alloc

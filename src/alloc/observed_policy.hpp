@@ -1,0 +1,42 @@
+// Observability decorator for allocation policies: publishes every
+// allocate() decision into a MetricsRegistry as per-user share gauges, so
+// the division of a peer's upload capacity — the quantity Equation (2) is
+// about — is inspectable live without touching the policy itself.
+//
+// Same synchronization contract as the wrapped policy (policy.hpp): not
+// internally synchronized.  Wrap in alloc::SynchronizedPolicy (or drive
+// from one thread) exactly as you would the inner policy; the gauges and
+// counters being written are themselves thread-safe.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/policy.hpp"
+#include "obs/metrics.hpp"
+
+namespace fairshare::alloc {
+
+class ObservedPolicy final : public AllocationPolicy {
+ public:
+  /// `peer_label` distinguishes this policy's series in a shared registry
+  /// (label key "peer"); gauges are created lazily, one per user slot.
+  ObservedPolicy(std::unique_ptr<AllocationPolicy> inner,
+                 obs::MetricsRegistry& registry, std::string peer_label);
+
+  void allocate(const PeerContext& ctx, std::span<double> out) override;
+  void observe(const SlotFeedback& feedback) override;
+
+  AllocationPolicy& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<AllocationPolicy> inner_;
+  obs::MetricsRegistry& registry_;
+  std::string peer_label_;
+  std::vector<obs::Gauge*> share_gauges_;  // by user slot, lazily created
+  obs::Counter* allocations_;
+  obs::Counter* feedback_;
+};
+
+}  // namespace fairshare::alloc

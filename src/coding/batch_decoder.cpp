@@ -31,11 +31,25 @@ AddResult BatchDecoder::add(const EncodedMessage& message) {
       });
   if (duplicate) return AddResult::non_innovative;
   messages_.push_back(message);
+  if (buffered_gauge_)
+    buffered_gauge_->set(static_cast<double>(messages_.size()));
   return AddResult::accepted;
+}
+
+void BatchDecoder::enable_metrics(obs::MetricsRegistry& registry,
+                                  std::uint64_t user_id) {
+  const obs::LabelList labels = {{"file", std::to_string(info_.file_id)},
+                                 {"user", std::to_string(user_id)}};
+  buffered_gauge_ = &registry.gauge("fairshare_decoder_batch_buffered", labels);
+  decode_ns_ = &registry.histogram("fairshare_decoder_batch_decode_ns", labels);
+  span_ring_ = &registry.spans();
+  buffered_gauge_->set(static_cast<double>(messages_.size()));
 }
 
 std::optional<std::vector<std::byte>> BatchDecoder::decode() {
   if (!ready()) return std::nullopt;
+  obs::TraceSpan span(span_ring_, "batch.decode");
+  const std::uint64_t t0 = decode_ns_ ? obs::monotonic_ns() : 0;
   const std::size_t k = info_.k;
   const std::size_t m = info_.params.m;
   const auto& f = gf::field_view(info_.params.field);
@@ -60,6 +74,7 @@ std::optional<std::vector<std::byte>> BatchDecoder::decode() {
     // Singular draw: drop the oldest message so the caller's next add()
     // brings a fresh row, then signal failure.
     if (!messages_.empty()) messages_.erase(messages_.begin());
+    if (decode_ns_) decode_ns_->record(obs::monotonic_ns() - t0);
     return std::nullopt;
   }
 
@@ -67,6 +82,7 @@ std::optional<std::vector<std::byte>> BatchDecoder::decode() {
   for (std::size_t i = 0; i < k; ++i)
     std::memcpy(out.data() + i * f.row_bytes(m), x->row(i), f.row_bytes(m));
   out.resize(info_.original_bytes);
+  if (decode_ns_) decode_ns_->record(obs::monotonic_ns() - t0);
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include "coding/coefficients.hpp"
 #include "coding/decoder.hpp"
 #include "coding/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace fairshare::coding {
 
@@ -41,11 +42,20 @@ class BatchDecoder {
   /// more messages and retry; over large q this is vanishingly rare).
   std::optional<std::vector<std::byte>> decode();
 
+  /// Report into `registry`: a buffered-message gauge
+  /// (fairshare_decoder_batch_buffered{user,file}), a decode()-time
+  /// histogram (fairshare_decoder_batch_decode_ns{user,file}), and a
+  /// "batch.decode" span per decode() call.  Off by default (no cost).
+  void enable_metrics(obs::MetricsRegistry& registry, std::uint64_t user_id);
+
  private:
   FileInfo info_;
   bool require_digests_;
   CoefficientGenerator coeffs_;
   std::vector<EncodedMessage> messages_;
+  obs::Gauge* buffered_gauge_ = nullptr;     // null = metrics disabled
+  obs::Histogram* decode_ns_ = nullptr;
+  obs::SpanRing* span_ring_ = nullptr;
 };
 
 }  // namespace fairshare::coding

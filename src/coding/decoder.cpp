@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 namespace fairshare::coding {
 
 FileDecoder::FileDecoder(const SecretKey& secret, const FileInfo& info,
@@ -32,12 +34,28 @@ AddResult FileDecoder::add(const EncodedMessage& message) {
   }
 
   const std::vector<std::byte> coeff_row = coeffs_.row(message.message_id);
-  if (!solver_.add_row(coeff_row.data(), message.payload.data())) {
+  const std::uint64_t t0 = eliminate_ns_ ? obs::monotonic_ns() : 0;
+  const bool innovative =
+      solver_.add_row(coeff_row.data(), message.payload.data());
+  if (eliminate_ns_) {
+    eliminate_ns_->record(obs::monotonic_ns() - t0);
+    rank_gauge_->set(static_cast<double>(solver_.rank()));
+  }
+  if (!innovative) {
     ++non_innovative_;
     return AddResult::non_innovative;
   }
   ++accepted_;
   return AddResult::accepted;
+}
+
+void FileDecoder::enable_metrics(obs::MetricsRegistry& registry,
+                                 std::uint64_t user_id) {
+  const obs::LabelList labels = {{"file", std::to_string(info_.file_id)},
+                                 {"user", std::to_string(user_id)}};
+  rank_gauge_ = &registry.gauge("fairshare_decoder_rank", labels);
+  eliminate_ns_ = &registry.histogram("fairshare_decoder_eliminate_ns", labels);
+  rank_gauge_->set(static_cast<double>(solver_.rank()));
 }
 
 AddResult FileDecoder::add_recoded(const RecodedMessage& message) {
@@ -47,7 +65,13 @@ AddResult FileDecoder::add_recoded(const RecodedMessage& message) {
     return AddResult::bad_size;
   const std::vector<std::byte> row =
       effective_row(coeffs_, message, info_.params);
-  if (!solver_.add_row(row.data(), message.payload.data())) {
+  const std::uint64_t t0 = eliminate_ns_ ? obs::monotonic_ns() : 0;
+  const bool innovative = solver_.add_row(row.data(), message.payload.data());
+  if (eliminate_ns_) {
+    eliminate_ns_->record(obs::monotonic_ns() - t0);
+    rank_gauge_->set(static_cast<double>(solver_.rank()));
+  }
+  if (!innovative) {
     ++non_innovative_;
     return AddResult::non_innovative;
   }

@@ -16,6 +16,7 @@
 #include "coding/message.hpp"
 #include "coding/recoding.hpp"
 #include "linalg/progressive.hpp"
+#include "obs/metrics.hpp"
 
 namespace fairshare::coding {
 
@@ -53,6 +54,14 @@ class FileDecoder {
     solver_.set_thread_pool(pool);
   }
 
+  /// Report decode progress into `registry`: a rank gauge
+  /// (fairshare_decoder_rank{user,file}) and a per-message elimination-time
+  /// histogram (fairshare_decoder_eliminate_ns{user,file}).  Off by default
+  /// so the bare decode pipeline carries zero instrumentation cost; when
+  /// enabled the cost is two clock reads plus a histogram record per
+  /// innovative-candidate row.
+  void enable_metrics(obs::MetricsRegistry& registry, std::uint64_t user_id);
+
   /// Register the digest of a message generated after the FileInfo
   /// snapshot was taken (e.g. fetched live from the owning peer while it
   /// encodes fresh messages on demand).
@@ -79,6 +88,8 @@ class FileDecoder {
   std::size_t accepted_ = 0;
   std::size_t rejected_auth_ = 0;
   std::size_t non_innovative_ = 0;
+  obs::Gauge* rank_gauge_ = nullptr;       // null = metrics disabled
+  obs::Histogram* eliminate_ns_ = nullptr;
 };
 
 }  // namespace fairshare::coding

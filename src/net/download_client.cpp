@@ -10,6 +10,7 @@
 #include "crypto/chacha20.hpp"
 #include "crypto/sha256.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "p2p/wire.hpp"
 
 namespace fairshare::net {
@@ -38,6 +39,42 @@ enum class Outcome {
   failed_permanent,  ///< the peer failed authentication: do not go back
 };
 
+/// Registry mirrors of one PeerDownloadStats row, resolved once before the
+/// session threads start so the hot receive loop only touches counters.
+struct PeerInstruments {
+  obs::Counter* attempts = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* frames = nullptr;
+  obs::Counter* bytes = nullptr;
+  obs::Counter* corrupt = nullptr;
+  obs::Counter* innovative = nullptr;
+  obs::Counter* redundant = nullptr;
+  obs::Counter* rejected = nullptr;
+};
+
+PeerInstruments make_instruments(obs::MetricsRegistry& registry,
+                                 std::uint64_t user_id,
+                                 std::uint64_t peer_id) {
+  const obs::LabelList labels = {{"peer", std::to_string(peer_id)},
+                                 {"user", std::to_string(user_id)}};
+  PeerInstruments out;
+  out.attempts =
+      &registry.counter("fairshare_client_attempts_total", labels);
+  out.retries = &registry.counter("fairshare_client_retries_total", labels);
+  out.frames = &registry.counter("fairshare_client_frames_total", labels);
+  out.bytes =
+      &registry.counter("fairshare_client_bytes_received_total", labels);
+  out.corrupt =
+      &registry.counter("fairshare_client_frames_corrupt_total", labels);
+  out.innovative = &registry.counter(
+      "fairshare_client_messages_innovative_total", labels);
+  out.redundant =
+      &registry.counter("fairshare_client_messages_redundant_total", labels);
+  out.rejected =
+      &registry.counter("fairshare_client_messages_rejected_total", labels);
+  return out;
+}
+
 }  // namespace
 
 DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
@@ -46,7 +83,16 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
                              const DownloadOptions& options) {
   DownloadReport report;
   report.per_peer.resize(peers.size());
+  obs::MetricsRegistry& registry =
+      options.registry ? *options.registry : obs::MetricsRegistry::global();
+  std::vector<PeerInstruments> instruments;
+  instruments.reserve(peers.size());
+  for (const PeerEndpoint& peer : peers)
+    instruments.push_back(
+        make_instruments(registry, options.user_id, peer.peer_id));
+  obs::TraceSpan download_span(&registry.spans(), "client.download");
   coding::FileDecoder decoder(secret, info);
+  decoder.enable_metrics(registry, options.user_id);
   std::mutex decoder_mutex;
   std::atomic<bool> done{false};
   // Completion broadcast: sessions parked in a retry backoff wake the
@@ -66,7 +112,10 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
   // One connection attempt, start to finish.  `salt` is unique per attempt
   // so re-established sessions use fresh handshake nonces.
   auto attempt_session = [&](const PeerEndpoint& peer, PeerDownloadStats& ps,
+                             PeerInstruments& pi,
                              std::uint64_t salt) -> Outcome {
+    obs::TraceSpan span(&registry.spans(), "client.session",
+                        download_span.id());
     // An error observed after the decode already finished is shutdown
     // noise (the swarm is tearing down), not a failure event; counting it
     // would break the retried/failed partition documented in the header.
@@ -124,10 +173,15 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
         // non-innovative (no double-count).
         return fail_retryable();
       }
+      ps.bytes_received += frame->size();
+      pi.frames->add(1);
+      pi.bytes->add(frame->size());
       const auto msg = p2p::wire::decode_coded_message(*frame);
       if (!msg) {
         ++ps.frames_corrupt;
         ++ps.messages_rejected;
+        pi.corrupt->add(1);
+        pi.rejected->add(1);
         continue;
       }
       std::lock_guard<std::mutex> lock(decoder_mutex);
@@ -135,6 +189,7 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
       switch (decoder.add(*msg)) {
         case coding::AddResult::accepted:
           ++ps.messages_accepted;
+          pi.innovative->add(1);
           break;
         case coding::AddResult::bad_digest:
           // The paper's on-the-fly authentication: a flipped byte anywhere
@@ -142,12 +197,18 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
           // solver.
           ++ps.frames_corrupt;
           ++ps.messages_rejected;
+          pi.corrupt->add(1);
+          pi.rejected->add(1);
           break;
         case coding::AddResult::wrong_file:
         case coding::AddResult::bad_size:
           ++ps.messages_rejected;
+          pi.rejected->add(1);
           break;
         case coding::AddResult::non_innovative:
+          ++ps.messages_redundant;
+          pi.redundant->add(1);
+          break;
         case coding::AddResult::already_complete:
           break;
       }
@@ -167,15 +228,17 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
   auto session = [&](std::size_t index) {
     const PeerEndpoint& peer = peers[index];
     PeerDownloadStats& ps = report.per_peer[index];
+    PeerInstruments& pi = instruments[index];
     ps.peer_id = peer.peer_id;
     const int max_attempts = std::max(1, options.retry.max_attempts);
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       if (done.load()) break;
       ++ps.attempts;
+      pi.attempts->add(1);
       const std::uint64_t salt =
           static_cast<std::uint64_t>(index + 1) |
           (static_cast<std::uint64_t>(attempt) << 32);
-      const Outcome outcome = attempt_session(peer, ps, salt);
+      const Outcome outcome = attempt_session(peer, ps, pi, salt);
       if (outcome == Outcome::clean) break;
       // Counter partition (see download_client.hpp): this failed attempt
       // is counted below either as retried (another attempt follows) or,
@@ -197,6 +260,7 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
         break;
       }
       ++ps.sessions_retried;
+      pi.retries->add(1);
     }
   };
 
@@ -213,6 +277,7 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
     report.messages_rejected += ps.messages_rejected;
     report.frames_corrupt += ps.frames_corrupt;
     report.sessions_retried += ps.sessions_retried;
+    report.bytes_received += ps.bytes_received;
     if (ps.gave_up) ++report.sessions_failed;
   }
   if (decoder.complete()) {

@@ -40,6 +40,7 @@
 #include "crypto/rsa.hpp"
 #include "net/retry.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace fairshare::net {
 
@@ -59,8 +60,10 @@ struct PeerDownloadStats {
   std::size_t sessions_retried = 0;  ///< failed attempts that were retried
   bool gave_up = false;              ///< final attempt ended in an error
   std::size_t messages_accepted = 0;  ///< innovative messages via this peer
+  std::size_t messages_redundant = 0;  ///< valid but non-innovative
   std::size_t messages_rejected = 0;
   std::size_t frames_corrupt = 0;
+  std::uint64_t bytes_received = 0;  ///< wire payload bytes from this peer
 };
 
 struct DownloadReport {
@@ -71,6 +74,7 @@ struct DownloadReport {
   std::size_t frames_corrupt = 0;     ///< unparseable or digest-rejected
   std::size_t sessions_failed = 0;    ///< peers whose last attempt failed
   std::size_t sessions_retried = 0;   ///< failed attempts that were retried
+  std::uint64_t bytes_received = 0;   ///< wire payload bytes, all peers
   double seconds = 0.0;
   std::vector<PeerDownloadStats> per_peer;  ///< one entry per endpoint
 };
@@ -90,6 +94,13 @@ struct DownloadOptions {
   /// Tests inject FaultyTransport wrappers here (fault_transport.hpp).
   std::function<std::unique_ptr<Transport>(const PeerEndpoint&)>
       transport_factory;
+  /// Registry the download reports into (per-peer frame/byte/retry
+  /// counters labelled user=<user_id>, peer=<peer_id>, decoder rank/
+  /// elimination instruments, and client.download/client.session spans);
+  /// null = the process-wide obs global registry.  The registry carries
+  /// exactly the numbers the returned DownloadReport does — incremented
+  /// at the same sites — so exporters and the report never disagree.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Download `info`'s file from `peers` in parallel and decode it with

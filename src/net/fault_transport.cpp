@@ -8,15 +8,31 @@ namespace fairshare::net {
 
 // ----------------------------------------------------------- FaultInjector
 
-FaultInjector::FaultInjector(FaultPlan plan)
+FaultInjector::FaultInjector(FaultPlan plan, obs::MetricsRegistry* registry)
     : plan_(plan), shared_(std::make_shared<Shared>()) {
   shared_->rng = sim::SplitMix64(plan.seed);
+  if (registry) {
+    const obs::LabelList seed = {{"seed", std::to_string(plan.seed)}};
+    shared_->m_refused =
+        &registry->counter("fairshare_faults_connections_refused_total", seed);
+    shared_->m_reset =
+        &registry->counter("fairshare_faults_connections_reset_total", seed);
+    shared_->m_dropped =
+        &registry->counter("fairshare_faults_frames_dropped_total", seed);
+    shared_->m_corrupted =
+        &registry->counter("fairshare_faults_frames_corrupted_total", seed);
+    shared_->m_duplicated =
+        &registry->counter("fairshare_faults_frames_duplicated_total", seed);
+    shared_->m_delayed =
+        &registry->counter("fairshare_faults_frames_delayed_total", seed);
+  }
 }
 
 bool FaultInjector::admits_connection() {
   if (!plan_.refuse_connection) return true;
   std::lock_guard<std::mutex> lock(shared_->mutex);
   ++shared_->stats.connections_refused;
+  if (shared_->m_refused) shared_->m_refused->add(1);
   return false;
 }
 
@@ -54,10 +70,22 @@ FaultyTransport::Faults FaultyTransport::draw_faults() {
   f.duplicate = shared_->rng.next_double() < plan_.duplicate_rate;
   f.delay = shared_->rng.next_double() < plan_.delay_rate;
   if (f.corrupt) f.corrupt_at = shared_->rng.next();
-  if (f.drop) ++shared_->stats.frames_dropped;
-  if (f.corrupt) ++shared_->stats.frames_corrupted;
-  if (f.duplicate) ++shared_->stats.frames_duplicated;
-  if (f.delay) ++shared_->stats.frames_delayed;
+  if (f.drop) {
+    ++shared_->stats.frames_dropped;
+    if (shared_->m_dropped) shared_->m_dropped->add(1);
+  }
+  if (f.corrupt) {
+    ++shared_->stats.frames_corrupted;
+    if (shared_->m_corrupted) shared_->m_corrupted->add(1);
+  }
+  if (f.duplicate) {
+    ++shared_->stats.frames_duplicated;
+    if (shared_->m_duplicated) shared_->m_duplicated->add(1);
+  }
+  if (f.delay) {
+    ++shared_->stats.frames_delayed;
+    if (shared_->m_delayed) shared_->m_delayed->add(1);
+  }
   return f;
 }
 
@@ -80,6 +108,7 @@ bool FaultyTransport::consume_frame_budget() {
     inner_->close();  // the RST analog: both directions die at once
     std::lock_guard<std::mutex> lock(shared_->mutex);
     ++shared_->stats.connections_reset;
+    if (shared_->m_reset) shared_->m_reset->add(1);
     return false;
   }
   ++frames_used_;

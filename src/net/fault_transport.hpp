@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 
 namespace fairshare::net {
@@ -60,7 +61,13 @@ struct FaultStats {
 /// wrapper may serve concurrent sessions through one injector).
 class FaultInjector {
  public:
-  explicit FaultInjector(FaultPlan plan);
+  /// With a registry, every injected fault is mirrored into
+  /// fairshare_faults_<kind>_total counters labelled seed=<plan.seed>
+  /// (the registry totals always equal stats()).  Null = no mirroring:
+  /// chaos tests spin up many short-lived injectors and should not spam
+  /// the process-wide registry unless they ask to.
+  explicit FaultInjector(FaultPlan plan,
+                         obs::MetricsRegistry* registry = nullptr);
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -78,6 +85,14 @@ class FaultInjector {
     mutable std::mutex mutex;
     sim::SplitMix64 rng{0};
     FaultStats stats;
+    // Registry mirrors of the stats fields, bumped at the same sites;
+    // null (the default) = stats only.
+    obs::Counter* m_refused = nullptr;
+    obs::Counter* m_reset = nullptr;
+    obs::Counter* m_dropped = nullptr;
+    obs::Counter* m_corrupted = nullptr;
+    obs::Counter* m_duplicated = nullptr;
+    obs::Counter* m_delayed = nullptr;
   };
 
  private:

@@ -7,6 +7,9 @@
 #include "alloc/policies.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/export.hpp"
+#include "obs/signal_dump.hpp"
+#include "obs/trace.hpp"
 #include "p2p/wire.hpp"
 
 namespace fairshare::net {
@@ -42,7 +45,26 @@ PeerServer::PeerServer(Config config, p2p::MessageStore store,
       declared_(config_.max_users, 0.0),
       policy_(std::make_unique<alloc::SynchronizedPolicy>(
           std::make_unique<alloc::ProportionalContributionPolicy>(
-              config_.max_users))) {}
+              config_.max_users))),
+      registry_(config.registry ? config.registry
+                                : &obs::MetricsRegistry::global()),
+      m_user_bytes_(config_.max_users, nullptr),
+      m_user_rate_(config_.max_users, nullptr) {
+  const obs::LabelList peer = {{"peer", std::to_string(config_.peer_id)}};
+  m_sessions_completed_ =
+      &registry_->counter("fairshare_server_sessions_completed_total", peer);
+  m_sessions_rejected_ =
+      &registry_->counter("fairshare_server_sessions_rejected_total", peer);
+  m_auth_rejections_ =
+      &registry_->counter("fairshare_server_auth_rejections_total", peer);
+  m_messages_sent_ =
+      &registry_->counter("fairshare_server_messages_sent_total", peer);
+  m_active_sessions_ =
+      &registry_->gauge("fairshare_server_active_sessions", peer);
+  m_peak_sessions_ = &registry_->gauge("fairshare_server_peak_sessions", peer);
+  m_quantum_ns_ =
+      &registry_->histogram("fairshare_server_quantum_ns", peer);
+}
 
 PeerServer::~PeerServer() { stop(); }
 
@@ -77,6 +99,12 @@ std::optional<std::size_t> PeerServer::user_slot_locked(
   const std::size_t slot = slot_users_.size();
   slot_users_.push_back(user_id);
   user_slots_.emplace(user_id, slot);
+  const obs::LabelList labels = {{"peer", std::to_string(config_.peer_id)},
+                                 {"user", std::to_string(user_id)}};
+  m_user_bytes_[slot] =
+      &registry_->counter("fairshare_server_user_bytes_total", labels);
+  m_user_rate_[slot] =
+      &registry_->gauge("fairshare_server_user_rate_kbps", labels);
   return slot;
 }
 
@@ -88,18 +116,20 @@ std::uint64_t PeerServer::user_bytes_sent(std::uint64_t user_id) const {
 
 std::vector<PeerServer::AllocationShare> PeerServer::allocation_snapshot()
     const {
+  // One lock acquisition covers every field read, so the returned rows are
+  // a coherent instant of the allocation state: a single pass over the
+  // session registry (O(users + sessions), not O(users * sessions))
+  // instead of a rescan per user row.
   std::lock_guard<std::mutex> lock(pacing_mutex_);
-  std::vector<AllocationShare> out;
-  out.reserve(slot_users_.size());
+  std::vector<AllocationShare> out(slot_users_.size());
   for (std::size_t slot = 0; slot < slot_users_.size(); ++slot) {
-    AllocationShare share;
-    share.user_id = slot_users_[slot];
-    share.rate_kbps = user_rate_kbps_[slot];
-    share.bytes_sent = user_bytes_[slot];
-    for (const auto& [id, st] : sessions_)
-      if (st->streaming && st->user_slot == slot) ++share.active_sessions;
-    out.push_back(share);
+    out[slot].user_id = slot_users_[slot];
+    out[slot].rate_kbps = user_rate_kbps_[slot];
+    out[slot].bytes_sent = user_bytes_[slot];
   }
+  for (const auto& [id, st] : sessions_)
+    if (st->streaming && st->user_slot < out.size())
+      ++out[st->user_slot].active_sessions;
   return out;
 }
 
@@ -108,6 +138,10 @@ bool PeerServer::start() {
   if (!listener) return false;
   listener_ = std::move(*listener);
   port_ = listener_.port();
+  if (!config_.stats_json_path.empty()) {
+    obs::enable_sigusr1_trigger();
+    dump_generation_seen_ = obs::sigusr1_generation();
+  }
   running_ = true;
   // max_sessions workers plus the (never-participating) caller slot.
   pool_ = std::make_unique<util::ThreadPool>(
@@ -119,7 +153,7 @@ bool PeerServer::start() {
 }
 
 void PeerServer::stop() {
-  running_ = false;
+  const bool was_running = running_.exchange(false);
   {
     std::lock_guard<std::mutex> lock(pacing_mutex_);
   }
@@ -128,21 +162,36 @@ void PeerServer::stop() {
   pool_.reset();  // joins every in-flight session handler
   if (pacing_thread_.joinable()) pacing_thread_.join();
   listener_.close();
+  // At-exit dump, once, after every session has finished counting.
+  if (was_running && !config_.stats_json_path.empty())
+    obs::dump_json(*registry_, config_.stats_json_path);
 }
 
 void PeerServer::accept_loop() {
   while (running_) {
+    // A SIGUSR1 since the last look means "dump now"; the handler only
+    // bumps a generation, all IO happens here on a normal thread.
+    if (!config_.stats_json_path.empty()) {
+      const std::uint64_t gen = obs::sigusr1_generation();
+      if (gen != dump_generation_seen_) {
+        dump_generation_seen_ = gen;
+        obs::dump_json(*registry_, config_.stats_json_path);
+      }
+    }
     auto client = listener_.accept(/*timeout_ms=*/50);
     if (!client) continue;
     if (active_sessions_.load() >= config_.max_sessions) {
       ++sessions_rejected_;
+      m_sessions_rejected_->add(1);
       continue;  // Socket destructor closes the connection
     }
     const std::size_t now_active = ++active_sessions_;
+    m_active_sessions_->add(1.0);
     std::size_t peak = peak_sessions_.load();
     while (now_active > peak &&
            !peak_sessions_.compare_exchange_weak(peak, now_active)) {
     }
+    m_peak_sessions_->set(static_cast<double>(peak_sessions_.load()));
     const std::uint64_t salt = ++session_counter_;
     client->set_recv_timeout(config_.recv_timeout_ms);
     client->set_send_timeout(config_.handshake_timeout_ms);
@@ -156,6 +205,7 @@ void PeerServer::accept_loop() {
     pool_->submit([this, shared, salt] {
       handle_session(*shared, salt);
       --active_sessions_;
+      m_active_sessions_->add(-1.0);
     });
   }
 }
@@ -176,6 +226,7 @@ void PeerServer::pacing_loop() {
     if (!running_) break;
     next += quantum;
     ++slot;
+    const std::uint64_t tick_t0 = obs::monotonic_ns();
 
     std::fill(requesting.begin(), requesting.end(), 0);
     std::fill(received.begin(), received.end(), 0.0);
@@ -205,8 +256,10 @@ void PeerServer::pacing_loop() {
     ctx.declared = declared_;  // live peers declare nothing (all zeros)
     policy_->allocate(ctx, shares);
 
-    for (std::size_t s = 0; s < config_.max_users; ++s)
+    for (std::size_t s = 0; s < config_.max_users; ++s) {
       user_rate_kbps_[s] = requesting[s] ? shares[s] : 0.0;
+      if (m_user_rate_[s]) m_user_rate_[s]->set(user_rate_kbps_[s]);
+    }
 
     for (const auto& [id, st] : sessions_) {
       if (!st->streaming) continue;
@@ -219,6 +272,7 @@ void PeerServer::pacing_loop() {
       const double burst_cap = std::max(4.0 * grant, 1.0);
       st->budget_bytes = std::min(st->budget_bytes, burst_cap);
     }
+    m_quantum_ns_->record(obs::monotonic_ns() - tick_t0);
     pacing_cv_.notify_all();
   }
   lock.unlock();
@@ -237,6 +291,7 @@ std::optional<std::vector<std::byte>> PeerServer::recv_frame_by(
 }
 
 void PeerServer::handle_session(Transport& client, std::uint64_t salt) {
+  obs::TraceSpan span(&registry_->spans(), "server.session");
   const auto handshake_deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(config_.handshake_timeout_ms);
@@ -253,6 +308,7 @@ void PeerServer::handle_session(Transport& client, std::uint64_t salt) {
     const auto user = users_.find(hello->user_id);
     if (user == users_.end()) {
       ++auth_rejections_;
+      m_auth_rejections_->add(1);
       return;
     }
     crypto::ChaCha20 rng = seeded_rng(config_.rng_seed, salt);
@@ -265,6 +321,7 @@ void PeerServer::handle_session(Transport& client, std::uint64_t salt) {
     const auto response = p2p::wire::decode_auth_response(*response_frame);
     if (!response || !responder.on_response(*response)) {
       ++auth_rejections_;
+      m_auth_rejections_->add(1);
       return;
     }
     session_key = responder.session_key();
@@ -329,15 +386,18 @@ void PeerServer::handle_session(Transport& client, std::uint64_t salt) {
       st->budget_bytes -= static_cast<double>(frame.size());
       st->quantum_bytes += static_cast<double>(frame.size());
       user_bytes_[st->user_slot] += frame.size();
+      m_user_bytes_[st->user_slot]->add(frame.size());
     } else {
       std::lock_guard<std::mutex> lock(pacing_mutex_);
       user_bytes_[st->user_slot] += frame.size();
+      m_user_bytes_[st->user_slot]->add(frame.size());
     }
     if (!send_frame(client, frame)) {  // client left
       completed = false;
       break;
     }
     ++messages_sent_;
+    m_messages_sent_->add(1);
     if (solo_rate > 0.0) {
       const double ms = std::min(
           static_cast<double>(msg.wire_size()) * 8.0 / solo_rate,  // kb / kbps
@@ -360,7 +420,10 @@ void PeerServer::handle_session(Transport& client, std::uint64_t salt) {
     std::lock_guard<std::mutex> lock(pacing_mutex_);
     sessions_.erase(salt);
   }
-  if (completed) ++sessions_completed_;
+  if (completed) {
+    ++sessions_completed_;
+    m_sessions_completed_->add(1);
+  }
 }
 
 }  // namespace fairshare::net

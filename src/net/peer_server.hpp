@@ -34,6 +34,7 @@
 #include "crypto/auth.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "p2p/store.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,6 +60,16 @@ class PeerServer {
     /// called from the accept loop while sessions run concurrently.
     std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
         transport_wrapper;
+    /// Registry this server reports into (sessions, per-user bytes, pacing
+    /// latency, spans); null = the process-wide obs global registry.
+    /// Series are labelled peer=<peer_id>, so several servers can share
+    /// one registry (give them distinct peer_ids, as a real swarm would).
+    obs::MetricsRegistry* registry = nullptr;
+    /// Non-empty: write the registry as JSON here (atomic tmp+rename) when
+    /// the process receives SIGUSR1 and again when the server stops, so a
+    /// live peer and a finished bench emit the same artifact.  Inspect
+    /// with `fairshare_cli stats <path> [--pid <pid>]`.
+    std::string stats_json_path;
   };
 
   /// Last-allocation view of one user, for tests and dashboards.
@@ -109,8 +120,14 @@ class PeerServer {
   std::size_t sessions_rejected() const { return sessions_rejected_; }
   /// Cumulative payload bytes streamed to one user (0 if never seen).
   std::uint64_t user_bytes_sent(std::uint64_t user_id) const;
-  /// Per-user allocation state as of the last pacing quantum.
+  /// Per-user allocation state: a coherent point-in-time copy taken under
+  /// ONE acquisition of the pacing lock, so rates, byte counts, and
+  /// session counts in the result all belong to the same instant (bytes
+  /// are monotone across successive snapshots; sessions sum to at most the
+  /// streaming sessions then active).  O(users + sessions).
   std::vector<AllocationShare> allocation_snapshot() const;
+  /// The registry this server reports into (Config::registry or global).
+  obs::MetricsRegistry& registry() const { return *registry_; }
 
  private:
   struct SessionState {
@@ -162,6 +179,22 @@ class PeerServer {
   std::atomic<std::size_t> active_sessions_{0};
   std::atomic<std::size_t> peak_sessions_{0};
   std::atomic<std::size_t> sessions_rejected_{0};
+
+  // Registry mirrors of the counters above plus pacing instruments.  The
+  // accessor methods stay the tests' source of truth; the registry carries
+  // the same numbers so exporters see them (instrument pointers resolved
+  // once in the constructor / at slot assignment, never per event).
+  obs::MetricsRegistry* registry_;  // Config::registry or the global
+  obs::Counter* m_sessions_completed_;
+  obs::Counter* m_sessions_rejected_;
+  obs::Counter* m_auth_rejections_;
+  obs::Counter* m_messages_sent_;
+  obs::Gauge* m_active_sessions_;
+  obs::Gauge* m_peak_sessions_;
+  obs::Histogram* m_quantum_ns_;
+  std::vector<obs::Counter*> m_user_bytes_;    // by slot; pacing_mutex_
+  std::vector<obs::Gauge*> m_user_rate_;       // by slot; pacing_mutex_
+  std::uint64_t dump_generation_seen_ = 0;     // accept loop only
 };
 
 }  // namespace fairshare::net

@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace fairshare::obs {
+
+// ---------------------------------------------------------------- Histogram
+
+std::size_t Histogram::index_of(std::uint64_t v) noexcept {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  if (v >= (std::uint64_t{1} << kMaxPow)) return kOverflowIndex;
+  const int b = 63 - std::countl_zero(v);  // 2^b <= v < 2^(b+1), b >= 3
+  const std::uint64_t top = v >> (b - kSubBits);  // in [8, 15]
+  return static_cast<std::size_t>((b - kSubBits) * 8 + top);
+}
+
+std::uint64_t Histogram::bound_of(std::size_t index) noexcept {
+  if (index >= kOverflowIndex) return UINT64_MAX;
+  if (index < kSub) return index;
+  const int b = static_cast<int>(index / 8) + kSubBits - 1;
+  const std::uint64_t top = index - std::size_t{8} * (b - kSubBits);
+  return ((top + 1) << (b - kSubBits)) - 1;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0 : std::min(min, snap.max);
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= target) {
+      const double v = i == kOverflowIndex
+                           ? static_cast<double>(max)
+                           : static_cast<double>(bound_of(i));
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+std::string MetricsRegistry::key_of(std::string_view name,
+                                    const LabelList& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+template <typename T>
+T& MetricsRegistry::find_or_create(Table<T>& table, std::string_view name,
+                                   LabelList labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = key_of(name, labels);
+  const auto it = table.find(key);
+  if (it != table.end()) return *it->second.metric;
+  Entry<T> entry;
+  entry.name = std::string(name);
+  entry.labels = std::move(labels);
+  entry.metric = std::make_unique<T>();
+  T& ref = *entry.metric;
+  table.emplace(std::move(key), std::move(entry));
+  return ref;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, LabelList labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(counters_, name, std::move(labels));
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, LabelList labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(gauges_, name, std::move(labels));
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      LabelList labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(histograms_, name, std::move(labels));
+}
+
+RegistrySnapshot MetricsRegistry::snapshot(std::size_t max_spans) const {
+  RegistrySnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.counters.reserve(counters_.size());
+    for (const auto& [key, entry] : counters_)
+      out.counters.push_back({entry.name, entry.labels, entry.metric->value()});
+    out.gauges.reserve(gauges_.size());
+    for (const auto& [key, entry] : gauges_)
+      out.gauges.push_back({entry.name, entry.labels, entry.metric->value()});
+    out.histograms.reserve(histograms_.size());
+    for (const auto& [key, entry] : histograms_)
+      out.histograms.push_back(
+          {entry.name, entry.labels, entry.metric->snapshot()});
+  }
+  out.spans = spans_.snapshot();
+  out.spans_pushed = spans_.pushed();
+  if (out.spans.size() > max_spans)  // keep the newest
+    out.spans.erase(out.spans.begin(),
+                    out.spans.end() - static_cast<std::ptrdiff_t>(max_spans));
+  return out;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const auto& [key, entry] : counters_)
+    if (entry.name == name) sum += entry.metric->value();
+  return sum;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+}  // namespace fairshare::obs

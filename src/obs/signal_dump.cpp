@@ -1,0 +1,33 @@
+#include "obs/signal_dump.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace fairshare::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_sigusr1_generation{0};
+
+#ifdef SIGUSR1
+extern "C" void on_sigusr1(int) {
+  // Only an atomic bump: file IO happens in whichever polling loop
+  // observes the generation change.
+  g_sigusr1_generation.fetch_add(1, std::memory_order_relaxed);
+}
+#endif
+
+}  // namespace
+
+void enable_sigusr1_trigger() {
+#ifdef SIGUSR1
+  static std::atomic<bool> installed{false};
+  if (!installed.exchange(true)) std::signal(SIGUSR1, on_sigusr1);
+#endif
+}
+
+std::uint64_t sigusr1_generation() noexcept {
+  return g_sigusr1_generation.load(std::memory_order_relaxed);
+}
+
+}  // namespace fairshare::obs

@@ -1,0 +1,19 @@
+// SIGUSR1-triggered registry dumps, without doing work in signal context:
+// the handler only bumps an atomic generation counter; polling loops that
+// already wake periodically (PeerServer's accept loop) compare generations
+// and write the dump from a normal thread.
+#pragma once
+
+#include <cstdint>
+
+namespace fairshare::obs {
+
+/// Install the SIGUSR1 generation-bump handler (idempotent, thread-safe).
+/// No-op on platforms without SIGUSR1.
+void enable_sigusr1_trigger();
+
+/// How many SIGUSR1 signals have been observed since the handler was
+/// installed.  Pollers dump when the value changes.
+std::uint64_t sigusr1_generation() noexcept;
+
+}  // namespace fairshare::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace fairshare::obs {
+
+namespace {
+
+std::size_t round_pow2(std::size_t v) {
+  return std::bit_ceil(std::max<std::size_t>(v, 8));
+}
+
+}  // namespace
+
+SpanRing::SpanRing(std::size_t capacity)
+    : slots_(new Slot[round_pow2(capacity)]),
+      mask_(round_pow2(capacity) - 1) {}
+
+void SpanRing::push(const SpanRecord& rec) noexcept {
+  const std::uint64_t t = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[t & mask_];
+  s.seq.store(2 * t + 1, std::memory_order_release);
+  s.id.store(rec.id, std::memory_order_relaxed);
+  s.parent.store(rec.parent, std::memory_order_relaxed);
+  s.start_ns.store(rec.start_ns, std::memory_order_relaxed);
+  s.duration_ns.store(rec.duration_ns, std::memory_order_relaxed);
+  s.name.store(rec.name, std::memory_order_relaxed);
+  s.seq.store(2 * t + 2, std::memory_order_release);
+}
+
+std::vector<SpanRecord> SpanRing::snapshot() const {
+  const std::size_t n = mask_ + 1;
+  std::vector<std::pair<std::uint64_t, SpanRecord>> found;
+  found.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Slot& s = slots_[i];
+    const std::uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+    if (seq1 == 0 || (seq1 & 1)) continue;  // empty or mid-write
+    SpanRecord rec;
+    rec.id = s.id.load(std::memory_order_relaxed);
+    rec.parent = s.parent.load(std::memory_order_relaxed);
+    rec.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    rec.duration_ns = s.duration_ns.load(std::memory_order_relaxed);
+    rec.name = s.name.load(std::memory_order_relaxed);
+    const std::uint64_t seq2 = s.seq.load(std::memory_order_acquire);
+    if (seq1 != seq2) continue;  // overwritten while reading
+    found.emplace_back((seq1 - 2) / 2, rec);  // recover the push ticket
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<SpanRecord> out;
+  out.reserve(found.size());
+  for (auto& [ticket, rec] : found) out.push_back(rec);
+  return out;
+}
+
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+TraceSpan::TraceSpan(SpanRing* ring, const char* name,
+                     std::uint64_t parent) noexcept
+    : ring_(ring),
+      name_(name),
+      id_(ring ? next_span_id() : 0),
+      parent_(parent),
+      start_(ring ? monotonic_ns() : 0) {}
+
+void TraceSpan::end() noexcept {
+  if (!ring_) return;
+  SpanRecord rec;
+  rec.id = id_;
+  rec.parent = parent_;
+  rec.start_ns = start_;
+  rec.duration_ns = monotonic_ns() - start_;
+  rec.name = name_;
+  ring_->push(rec);
+  ring_ = nullptr;
+}
+
+}  // namespace fairshare::obs

@@ -1,0 +1,103 @@
+// Lightweight scoped tracing: TraceSpan stamps a monotonic start on
+// construction and pushes one fixed-size SpanRecord into a bounded
+// lock-free ring when it ends.  The ring overwrites oldest-first, so
+// tracing never blocks, never allocates after construction, and costs a
+// handful of relaxed atomic stores per span — cheap enough for per-session
+// and per-slot scopes on hot paths.
+//
+// Span names must be string literals (or otherwise outlive the ring): the
+// ring stores the pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fairshare::obs {
+
+/// Steady-clock nanoseconds (process-relative; only differences matter).
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One finished span.  parent == 0 means "root".
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  const char* name = "";
+};
+
+/// Bounded MPMC overwrite-oldest ring of SpanRecords.  Writers claim a
+/// monotonically increasing ticket and publish through a per-slot sequence
+/// (odd while writing, even when done); readers discard any slot whose
+/// sequence moved mid-read.  Record fields are themselves relaxed atomics,
+/// so a reader racing a wrapping writer sees a discarded-or-consistent
+/// record, never a torn load.
+class SpanRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit SpanRing(std::size_t capacity);
+
+  void push(const SpanRecord& rec) noexcept;
+
+  /// Consistent records currently resident, oldest push first.  Size is at
+  /// most capacity(); concurrent pushes may hide a few in-flight slots.
+  std::vector<SpanRecord> snapshot() const;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+  /// Lifetime pushes; pushed() - capacity() is a lower bound on overwrites.
+  std::uint64_t pushed() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 empty; 2t+1 writing; 2t+2 done
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> parent{0};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> duration_ns{0};
+    std::atomic<const char*> name{""};
+  };
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// RAII span: records [construction, end()/destruction) into a ring.
+/// A null ring makes every operation a no-op, so call sites stay
+/// unconditional and cost one branch when tracing is off.
+class TraceSpan {
+ public:
+  TraceSpan(SpanRing* ring, const char* name,
+            std::uint64_t parent = 0) noexcept;
+  ~TraceSpan() { end(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Record now instead of at scope exit; idempotent.
+  void end() noexcept;
+  /// This span's id, for parenting children (0 when the ring is null).
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  SpanRing* ring_;
+  const char* name_;
+  std::uint64_t id_;
+  std::uint64_t parent_;
+  std::uint64_t start_;
+};
+
+/// Process-unique span id (never 0).
+std::uint64_t next_span_id() noexcept;
+
+}  // namespace fairshare::obs

@@ -67,4 +67,20 @@ double jain_index(const std::vector<double>& values) {
   return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
 }
 
+void publish_metrics(const Simulator& sim, obs::MetricsRegistry& registry) {
+  const std::size_t n = sim.n();
+  std::vector<double> downloads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    downloads[i] = sim.average_download(i);
+    const obs::LabelList labels = {{"user", std::to_string(i)}};
+    registry.gauge("fairshare_sim_avg_download_kbps", labels)
+        .set(downloads[i]);
+    registry.gauge("fairshare_sim_gamma", labels).set(sim.empirical_gamma(i));
+  }
+  registry.gauge("fairshare_sim_jain").set(jain_index(downloads));
+  registry.gauge("fairshare_sim_pairwise_unfairness")
+      .set(pairwise_unfairness(sim));
+  registry.gauge("fairshare_sim_slots").set(static_cast<double>(sim.now()));
+}
+
 }  // namespace fairshare::sim

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace fairshare::sim {
@@ -54,5 +55,12 @@ double eq3_download_lower_bound(std::span<const double> mu,
 /// summary used by the convergence benches (1 = every user's download
 /// matches its contribution exactly).
 double jain_index(const std::vector<double>& values);
+
+/// Bridge from a (finished or running) simulation into the unified
+/// registry: per-user average-download and empirical-gamma gauges, the
+/// Jain index over average downloads, the Corollary-1 pairwise
+/// unfairness, and a slots gauge.  Call after run(); gauges overwrite, so
+/// repeated calls track a live simulation.
+void publish_metrics(const Simulator& sim, obs::MetricsRegistry& registry);
 
 }  // namespace fairshare::sim

@@ -17,6 +17,8 @@ Simulator::Simulator(std::vector<PeerSetup> peers, SimConfig config)
     declared_[i] = peers_[i].declared_kbps >= 0.0 ? peers_[i].declared_kbps
                                                   : peers_[i].upload_kbps;
   }
+  if (config_.registry)
+    slots_counter_ = &config_.registry->counter("fairshare_sim_slots_total");
   contribution_.assign(n * n, 0.0);
   download_.resize(n);
   requested_.resize(n);
@@ -34,6 +36,8 @@ double Simulator::capacity_at(std::size_t i, std::uint64_t t) const {
 }
 
 void Simulator::step() {
+  obs::TraceSpan span(
+      config_.registry ? &config_.registry->spans() : nullptr, "sim.slot");
   const std::size_t n = peers_.size();
   const std::uint64_t t = slot_;
 
@@ -96,6 +100,7 @@ void Simulator::step() {
     peers_[i].policy->observe(fb);
   }
 
+  if (slots_counter_) slots_counter_->add();
   ++slot_;
 }
 

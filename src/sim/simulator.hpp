@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "alloc/policy.hpp"
+#include "obs/metrics.hpp"
 #include "sim/demand.hpp"
 #include "sim/trace.hpp"
 
@@ -53,6 +54,12 @@ struct SimConfig {
   /// Allocation granularity in kbps (0 = continuous).  With message size
   /// m*p bits served once per slot, the natural quantum is m*p/1000 kbps.
   double quantum_kbps = 0.0;
+  /// Opt-in observability: when set, every step() runs under a "sim.slot"
+  /// span and bumps fairshare_sim_slots_total.  Left null (the default)
+  /// the engine carries zero instrumentation cost — the figure benches run
+  /// millions of slots.  sim::publish_metrics() exports the derived
+  /// fairness metrics into the same registry after a run.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 class Simulator {
@@ -107,6 +114,7 @@ class Simulator {
   std::vector<double> alloc_row_;
   std::vector<double> slot_download_;
   std::vector<double> slot_matrix_;  // mu_ij(t)
+  obs::Counter* slots_counter_ = nullptr;  // null when config_.registry is
 };
 
 }  // namespace fairshare::sim

@@ -1,0 +1,137 @@
+// Histogram bucket math and quantile edge cases (satellite: the edges the
+// header documents are pinned here).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace fairshare;
+using obs::Histogram;
+
+TEST(Histogram, IndexOfIsMonotoneAndInverseOfBoundOf) {
+  std::size_t prev = 0;
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 9ull, 15ull, 16ull, 17ull,
+                          100ull, 1000ull, 1ull << 20, (1ull << 20) + 1,
+                          (1ull << 39), (1ull << 40) - 1}) {
+    const std::size_t idx = Histogram::index_of(v);
+    EXPECT_GE(idx, prev) << "index_of not monotone at " << v;
+    prev = idx;
+    // A bucket's inclusive upper bound maps back into the same bucket.
+    EXPECT_EQ(Histogram::index_of(Histogram::bound_of(idx)), idx)
+        << "bound_of(" << idx << ") escapes its bucket";
+    EXPECT_LE(v, Histogram::bound_of(idx));
+  }
+  // Exact buckets below kSub.
+  for (std::uint64_t v = 0; v < Histogram::kSub; ++v)
+    EXPECT_EQ(Histogram::index_of(v), v);
+  // Overflow region.
+  EXPECT_EQ(Histogram::index_of(1ull << Histogram::kMaxPow),
+            Histogram::kOverflowIndex);
+  EXPECT_EQ(Histogram::index_of(UINT64_MAX), Histogram::kOverflowIndex);
+  EXPECT_EQ(Histogram::bound_of(Histogram::kOverflowIndex), UINT64_MAX);
+}
+
+TEST(Histogram, ZeroSamples) {
+  Histogram h;
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.0), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryQuantile) {
+  Histogram h;
+  h.record(std::uint64_t{12345});
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 12345u);
+  EXPECT_EQ(s.max, 12345u);
+  // Clamping into [min, max] makes the log-linear bound exact here.
+  for (double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_EQ(s.quantile(q), 12345.0) << "q=" << q;
+}
+
+TEST(Histogram, ValueBelowFirstBucketBound) {
+  Histogram h;
+  h.record(std::uint64_t{0});
+  h.record(-3.5);                          // clamps to 0
+  h.record(std::numeric_limits<double>::quiet_NaN());  // clamps to 0
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.buckets[0], 3u);
+  EXPECT_EQ(s.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, ValueAboveLastBucketBoundReportsTrackedMax) {
+  Histogram h;
+  const std::uint64_t huge = (1ull << Histogram::kMaxPow) + 12345;
+  h.record(huge);
+  h.record(std::uint64_t{100});
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.buckets[Histogram::kOverflowIndex], 1u);
+  EXPECT_EQ(s.max, huge);
+  // A quantile that lands in the overflow bucket cannot use the bucket
+  // bound (UINT64_MAX); it reports the tracked maximum instead.
+  EXPECT_EQ(s.quantile(0.99), static_cast<double>(huge));
+  EXPECT_LE(s.quantile(0.25), 112.0);  // low quantile stays in band (12.5%)
+}
+
+TEST(Histogram, QuantileRelativeErrorStaysInBand) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  const Histogram::Snapshot s = h.snapshot();
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = q * 100000.0;
+    const double approx = s.quantile(q);
+    EXPECT_GE(approx, exact * 0.85) << "q=" << q;
+    EXPECT_LE(approx, exact * 1.15) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MonotoneUnderConcurrentRecording) {
+  Histogram h;
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&h, &stop, t] {
+      std::uint64_t x = 88172645463325252ull + static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.record(x % 1000000);
+      }
+    });
+  // Quantiles from one Snapshot must be monotone no matter how the racing
+  // writers interleave; repeat to give races a chance to materialize.
+  for (int round = 0; round < 200; ++round) {
+    const Histogram::Snapshot s = h.snapshot();
+    double prev = 0.0;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+      const double v = s.quantile(q);
+      EXPECT_GE(v, prev) << "round " << round << " q=" << q;
+      prev = v;
+    }
+    EXPECT_GE(s.count, 0u);
+  }
+  stop = true;
+  for (auto& t : writers) t.join();
+  // Final quiesced state: count equals bucket mass, min <= max.
+  const Histogram::Snapshot s = h.snapshot();
+  std::uint64_t mass = 0;
+  for (const auto b : s.buckets) mass += b;
+  EXPECT_EQ(mass, s.count);
+  EXPECT_LE(s.min, s.max);
+}
+
+}  // namespace

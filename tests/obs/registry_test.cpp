@@ -1,0 +1,119 @@
+// MetricsRegistry identity, thread-safety, and snapshot semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace fairshare;
+
+TEST(Counter, AccumulatesAcrossThreads) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(42.5);
+  EXPECT_EQ(g.value(), 42.5);
+  g.add(-2.5);
+  EXPECT_EQ(g.value(), 40.0);
+}
+
+TEST(Gauge, ConcurrentAddIsLossless) {
+  obs::Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, SameIdentityReturnsSameInstrument) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x_total", {{"user", "1"}});
+  obs::Counter& b = reg.counter("x_total", {{"user", "1"}});
+  EXPECT_EQ(&a, &b);
+  // Label ORDER is not part of the identity — labels are sorted by key.
+  obs::Counter& c =
+      reg.counter("y_total", {{"b", "2"}, {"a", "1"}});
+  obs::Counter& d =
+      reg.counter("y_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&c, &d);
+}
+
+TEST(MetricsRegistry, DifferentLabelsAreDifferentSeries) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x_total", {{"user", "1"}});
+  obs::Counter& b = reg.counter("x_total", {{"user", "2"}});
+  obs::Counter& c = reg.counter("x_total");
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(&a, &c);
+  // Same name in a different instrument family is a separate object too.
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(reg.counter_total("x_total"), 7u);
+  EXPECT_EQ(reg.counter_total("missing_total"), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentFindOrCreateIsSafe) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("shared_total", {{"i", std::to_string(i % 10)}}).add(1);
+        reg.gauge("g", {{"i", std::to_string(i % 10)}}).set(i);
+        reg.histogram("h").record(std::uint64_t(i));
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter_total("shared_total"), kThreads * 200u);
+  EXPECT_EQ(reg.histogram("h").count(), kThreads * 200u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  obs::MetricsRegistry reg;
+  reg.counter("b_total").add(2);
+  reg.counter("a_total", {{"k", "v"}}).add(1);
+  reg.gauge("g").set(3.5);
+  reg.histogram("h").record(std::uint64_t{7});
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a_total");
+  ASSERT_EQ(snap.counters[0].labels.size(), 1u);
+  EXPECT_EQ(snap.counters[0].labels[0].first, "k");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b_total");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 3.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].snap.count, 1u);
+  EXPECT_EQ(snap.histograms[0].snap.sum, 7u);
+}
+
+TEST(MetricsRegistry, GlobalIsAStableSingleton) {
+  obs::MetricsRegistry& a = obs::MetricsRegistry::global();
+  obs::MetricsRegistry& b = obs::MetricsRegistry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace

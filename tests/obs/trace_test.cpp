@@ -1,0 +1,117 @@
+// SpanRing and TraceSpan: bounded overwrite-oldest semantics, parent
+// linkage, and lock-free behavior under concurrent pushers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace fairshare;
+
+TEST(SpanRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(obs::SpanRing(1).capacity(), 8u);
+  EXPECT_EQ(obs::SpanRing(8).capacity(), 8u);
+  EXPECT_EQ(obs::SpanRing(9).capacity(), 16u);
+  EXPECT_EQ(obs::SpanRing(1000).capacity(), 1024u);
+}
+
+TEST(SpanRing, KeepsMostRecentWhenFull) {
+  obs::SpanRing ring(8);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    obs::SpanRecord rec;
+    rec.id = i;
+    rec.name = "s";
+    ring.push(rec);
+  }
+  EXPECT_EQ(ring.pushed(), 20u);
+  const auto spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Oldest-first within the residents, and the residents are the last 8.
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    EXPECT_EQ(spans[i].id, 13 + i);
+}
+
+TEST(TraceSpan, RecordsDurationAndParent) {
+  obs::SpanRing ring(16);
+  {
+    obs::TraceSpan outer(&ring, "outer");
+    ASSERT_NE(outer.id(), 0u);
+    { obs::TraceSpan inner(&ring, "inner", outer.id()); }
+  }
+  const auto spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner ends first, so it is the older record.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_GE(spans[1].duration_ns, spans[0].duration_ns);
+  EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
+}
+
+TEST(TraceSpan, EndIsIdempotentAndNullRingIsNoop) {
+  obs::SpanRing ring(8);
+  {
+    obs::TraceSpan span(&ring, "once");
+    span.end();
+    span.end();  // second end must not push again
+  }
+  EXPECT_EQ(ring.pushed(), 1u);
+  {
+    obs::TraceSpan nothing(nullptr, "never");
+    EXPECT_EQ(nothing.id(), 0u);
+  }
+}
+
+TEST(SpanRing, ConcurrentPushersNeverTearRecords) {
+  obs::SpanRing ring(64);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        obs::SpanRecord rec;
+        // id encodes the writer; duration must always match it, so a torn
+        // read (fields from two writers) is detectable.
+        rec.id = static_cast<std::uint64_t>(t + 1) * 1000000 + i;
+        rec.duration_ns = rec.id * 2;
+        rec.name = "w";
+        ring.push(rec);
+      }
+    });
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      for (const obs::SpanRecord& rec : ring.snapshot()) {
+        ASSERT_EQ(rec.duration_ns, rec.id * 2) << "torn record";
+        ASSERT_STREQ(rec.name, "w");
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  done = true;
+  reader.join();
+  EXPECT_EQ(ring.pushed(), kThreads * kPerThread);
+  const auto spans = ring.snapshot();
+  EXPECT_EQ(spans.size(), ring.capacity());
+  std::set<std::uint64_t> ids;
+  for (const auto& rec : spans) ids.insert(rec.id);
+  EXPECT_EQ(ids.size(), spans.size());  // residents are distinct pushes
+}
+
+TEST(NextSpanId, UniqueAndNonZero) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = obs::next_span_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+}
+
+}  // namespace

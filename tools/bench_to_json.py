@@ -3,6 +3,7 @@
 
 Usage:
   bench_to_json.py NATIVE.json [--scalar SCALAR.json] [-o BENCH_kernels.json]
+  bench_to_json.py NATIVE.json [--scalar SCALAR.json] --compare BENCH_kernels.json
 
 NATIVE.json is a --benchmark_out=json run with the host's dispatched
 kernels; SCALAR.json is the same binary re-run under
@@ -15,6 +16,13 @@ number to eyeball.
 
 Typically invoked via the `bench_baseline` CMake target, which writes
 BENCH_kernels.json at the repo root.
+
+With --compare the tool checks a fresh run against the committed baseline
+instead of writing one: it prints a per-benchmark delta table (new vs
+baseline real_time_ns, matched by name within each run) and exits nonzero
+when any benchmark regresses by more than --threshold percent (default
+25).  CI runs this as a non-blocking step; locally it answers "did my
+change slow the kernels down?" in one command.
 """
 
 import argparse
@@ -89,12 +97,66 @@ def speedups(native, scalar):
     return out
 
 
+def compare_runs(run_name, fresh, baseline_entries, threshold_pct):
+    """Print per-benchmark deltas of `fresh` against the baseline run and
+    return the names that regressed beyond the threshold."""
+    regressed = []
+    base_by = by_name(baseline_entries)
+    print("%-44s %14s %14s %9s" % (run_name, "baseline_ns", "current_ns",
+                                   "delta"))
+    for entry in fresh:
+        base = base_by.get(entry["name"])
+        if base is None or not base.get("real_time_ns"):
+            print("%-44s %14s %14.1f %9s"
+                  % (entry["name"], "-", entry["real_time_ns"], "new"))
+            continue
+        delta_pct = (entry["real_time_ns"] / base["real_time_ns"] - 1.0) * 100
+        flag = ""
+        if delta_pct > threshold_pct:
+            flag = "  << REGRESSION"
+            regressed.append(entry["name"])
+        print("%-44s %14.1f %14.1f %+8.1f%%%s"
+              % (entry["name"], base["real_time_ns"], entry["real_time_ns"],
+                 delta_pct, flag))
+    for name in sorted(set(base_by) - {e["name"] for e in fresh}):
+        print("%-44s %14.1f %14s %9s"
+              % (name, base_by[name]["real_time_ns"], "-", "missing"))
+    return regressed
+
+
+def run_compare(args, native, scalar):
+    baseline = load_run(args.compare)
+    runs = baseline.get("runs", {})
+    if not runs.get("native"):
+        sys.exit("no runs.native entries in baseline " + args.compare)
+    regressed = compare_runs("native", native, runs["native"], args.threshold)
+    if scalar and runs.get("forced_scalar"):
+        print()
+        regressed += compare_runs("forced_scalar", scalar,
+                                  runs["forced_scalar"], args.threshold)
+    print()
+    if regressed:
+        print("FAIL: %d benchmark(s) regressed more than %.0f%% vs %s:"
+              % (len(regressed), args.threshold, args.compare))
+        for name in regressed:
+            print("  " + name)
+        sys.exit(1)
+    print("OK: no benchmark regressed more than %.0f%% vs %s"
+          % (args.threshold, args.compare))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("native", help="benchmark JSON from the dispatched run")
     ap.add_argument("--scalar", help="benchmark JSON from the "
                     "FAIRSHARE_FORCE_SCALAR_KERNELS=1 run")
     ap.add_argument("-o", "--output", default="BENCH_kernels.json")
+    ap.add_argument("--compare", metavar="BASELINE.json",
+                    help="compare against a committed baseline instead of "
+                    "writing one; exit nonzero on regression")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="regression threshold in percent for --compare "
+                    "(default: %(default)s)")
     args = ap.parse_args()
 
     native_doc = load_run(args.native)
@@ -104,6 +166,10 @@ def main():
     scalar = condense_entries(scalar_doc) if scalar_doc else []
     if not native:
         sys.exit("no benchmark entries in " + args.native)
+
+    if args.compare:
+        run_compare(args, native, scalar)
+        return
 
     baseline = {
         "schema": 1,

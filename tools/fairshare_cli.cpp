@@ -7,22 +7,38 @@
 //                 <message files...>
 //   fairshare_cli info    <info.bin>
 //   fairshare_cli caps    (alias: version)
+//   fairshare_cli stats   <stats.json> [--pid <pid>]
 //
 // caps prints the build version, detected CPU features, and the row-kernel
 // variant each field dispatched to, so perf reports are attributable to a
 // code path.
+//
+// stats pretty-prints a registry dump written by the obs JSON exporter
+// (e.g. PeerServer::Config::stats_json_path).  With --pid it first sends
+// SIGUSR1 to a live process and waits for the dump file to be rewritten,
+// so it reads fresh numbers from a running peer.
 //
 // encode writes out-dir/info.bin (the wire-format FileInfo the user
 // carries) and out-dir/msg_<id>.bin (one framed coded message each —
 // exactly what a peer would store).  decode needs any k innovative
 // message files plus the passphrase; order does not matter, corrupted
 // files are rejected by their MD5 digests and reported.
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <signal.h>
+#endif
 
 #include "coding/decoder.hpp"
 #include "coding/encoder.hpp"
@@ -48,7 +64,10 @@ int usage() {
                " <message files...>\n"
                "  fairshare_cli info <info.bin>\n"
                "  fairshare_cli caps   (print CPU features and dispatched"
-               " row kernels; alias: version)\n");
+               " row kernels; alias: version)\n"
+               "  fairshare_cli stats <stats.json> [--pid <pid>]"
+               "   (pretty-print a registry dump; --pid: SIGUSR1 the\n"
+               "                 process and wait for a fresh dump first)\n");
   return 2;
 }
 
@@ -83,6 +102,7 @@ struct Options {
   unsigned field_bits = 32;
   std::size_t m = 1u << 15;
   std::size_t messages = 0;  // 0 = k (one decodable batch)
+  long pid = 0;              // stats: signal this process first
   std::vector<std::string> positional;
 };
 
@@ -112,6 +132,10 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--messages");
       if (!v) return false;
       opt.messages = std::stoull(v);
+    } else if (arg == "--pid") {
+      const char* v = next("--pid");
+      if (!v) return false;
+      opt.pid = std::stol(v);
     } else {
       opt.positional.push_back(arg);
     }
@@ -254,6 +278,174 @@ int cmd_info(const Options& opt) {
   return 0;
 }
 
+// ------------------------------------------------------------------ stats
+//
+// The obs JSON exporter deliberately writes one sample object per line, so
+// this parser needs nothing beyond string search: section headers name the
+// array, every '{'-led line inside it is one sample.
+
+std::string json_str_field(const std::string& line, const char* key) {
+  const std::string k = std::string("\"") + key + "\":\"";
+  const auto pos = line.find(k);
+  if (pos == std::string::npos) return {};
+  std::string out;
+  for (std::size_t i = pos + k.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out += line[++i];
+      continue;
+    }
+    if (line[i] == '"') break;
+    out += line[i];
+  }
+  return out;
+}
+
+double json_num_field(const std::string& line, const char* key) {
+  const std::string k = std::string("\"") + key + "\":";
+  const auto pos = line.find(k);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + pos + k.size(), nullptr);
+}
+
+/// "labels":{"peer":"0","user":"1"} -> {peer=0,user=1} ("" if none).
+std::string pretty_labels(const std::string& line) {
+  const auto pos = line.find("\"labels\":{");
+  if (pos == std::string::npos) return {};
+  const auto start = pos + 10;
+  const auto end = line.find('}', start);
+  if (end == std::string::npos || end == start) return {};
+  std::string out = "{";
+  for (std::size_t i = start; i < end; ++i) {
+    const char c = line[i];
+    if (c == '"') continue;
+    out += (c == ':') ? '=' : c;
+  }
+  out += '}';
+  return out;
+}
+
+int cmd_stats(const Options& opt) {
+  if (opt.positional.size() != 1) return usage();
+  const fs::path path = opt.positional[0];
+
+  if (opt.pid > 0) {
+#ifndef _WIN32
+    std::error_code ec;
+    const auto before = fs::exists(path, ec)
+                            ? fs::last_write_time(path, ec)
+                            : fs::file_time_type::min();
+    if (kill(static_cast<pid_t>(opt.pid), SIGUSR1) != 0) {
+      std::fprintf(stderr, "cannot signal pid %ld: %s\n", opt.pid,
+                   std::strerror(errno));
+      return 1;
+    }
+    // The server dumps from its accept loop (50ms wakeups); give it up to
+    // two seconds to rewrite the file before reading a stale one.
+    for (int i = 0; i < 40; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const auto now = fs::exists(path, ec) ? fs::last_write_time(path, ec)
+                                            : fs::file_time_type::min();
+      if (now != before) break;
+    }
+#else
+    std::fprintf(stderr, "--pid is not supported on this platform\n");
+    return 1;
+#endif
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return 1;
+  }
+
+  enum class Section { none, counters, gauges, histograms, spans };
+  Section section = Section::none;
+  bool printed_header = false;
+  struct SpanAgg {
+    std::size_t count = 0;
+    double total_ns = 0.0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  std::uint64_t spans_pushed = 0;
+  std::size_t spans_sampled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"counters\": [") != std::string::npos) {
+      section = Section::counters;
+      printed_header = false;
+      continue;
+    }
+    if (line.find("\"gauges\": [") != std::string::npos) {
+      section = Section::gauges;
+      printed_header = false;
+      continue;
+    }
+    if (line.find("\"histograms\": [") != std::string::npos) {
+      section = Section::histograms;
+      printed_header = false;
+      continue;
+    }
+    if (line.find("\"spans\": [") != std::string::npos) {
+      section = Section::spans;
+      continue;
+    }
+    if (line.find("\"spans_pushed\":") != std::string::npos) {
+      spans_pushed =
+          static_cast<std::uint64_t>(json_num_field(line, "spans_pushed"));
+      continue;
+    }
+    if (line.empty() || line[0] != '{') continue;
+    if (line.find("\"name\":") == std::string::npos) continue;
+    const std::string series =
+        json_str_field(line, "name") + pretty_labels(line);
+    switch (section) {
+      case Section::counters:
+      case Section::gauges: {
+        if (!printed_header) {
+          std::printf("== %s ==\n",
+                      section == Section::counters ? "counters" : "gauges");
+          printed_header = true;
+        }
+        std::printf("%-58s %.10g\n", series.c_str(),
+                    json_num_field(line, "value"));
+        break;
+      }
+      case Section::histograms: {
+        if (!printed_header) {
+          std::printf("== histograms ==\n");
+          printed_header = true;
+        }
+        std::printf(
+            "%-58s count=%.0f mean=%.0f p50=%.0f p95=%.0f p99=%.0f "
+            "max=%.0f\n",
+            series.c_str(), json_num_field(line, "count"),
+            json_num_field(line, "mean"), json_num_field(line, "p50"),
+            json_num_field(line, "p95"), json_num_field(line, "p99"),
+            json_num_field(line, "max"));
+        break;
+      }
+      case Section::spans: {
+        SpanAgg& agg = spans[json_str_field(line, "name")];
+        ++agg.count;
+        agg.total_ns += json_num_field(line, "duration_ns");
+        ++spans_sampled;
+        break;
+      }
+      case Section::none:
+        break;
+    }
+  }
+  if (!spans.empty() || spans_pushed > 0) {
+    std::printf("== spans == (%zu sampled of %llu pushed)\n", spans_sampled,
+                static_cast<unsigned long long>(spans_pushed));
+    for (const auto& [name, agg] : spans)
+      std::printf("%-58s count=%zu total_ms=%.3f\n", name.c_str(), agg.count,
+                  agg.total_ns / 1e6);
+  }
+  return 0;
+}
+
 int cmd_caps() {
   const gf::CpuFeatures feat = gf::cpu_features();
   std::printf("fairshare %s\n", FAIRSHARE_VERSION);
@@ -280,5 +472,6 @@ int main(int argc, char** argv) {
   if (cmd == "decode") return cmd_decode(opt);
   if (cmd == "info") return cmd_info(opt);
   if (cmd == "caps" || cmd == "version") return cmd_caps();
+  if (cmd == "stats") return cmd_stats(opt);
   return usage();
 }
