@@ -1,5 +1,6 @@
 #include "net/fault_transport.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -161,6 +162,127 @@ std::optional<std::vector<std::byte>> FaultyTransport::read_frame(
     if (f.duplicate) pending_duplicate_ = *frame;
     return frame;
   }
+}
+
+TryWrite FaultyTransport::try_write_frame(std::span<const std::byte> frame) {
+  if (reset_) return {IoStatus::closed, false};
+  // A duplicate copy still owed to the inner transport must drain before a
+  // new frame may be accepted (frames stay ordered on the wire).
+  {
+    const IoStatus st = try_flush();
+    if (st == IoStatus::blocked && dup_out_frame_)
+      return {IoStatus::blocked, false};
+    if (st == IoStatus::closed || st == IoStatus::error) return {st, false};
+  }
+  if (!pending_write_faults_) {
+    // First touch of this frame: spend the budget and draw its faults;
+    // both survive any {blocked,false} retries so the seeded schedule is
+    // identical to the blocking path's.
+    if (!consume_frame_budget()) return {IoStatus::closed, false};
+    pending_write_faults_ = draw_faults();
+    if (pending_write_faults_->delay)
+      write_release_ = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(plan_.delay_ms);
+  }
+  if (write_release_) {
+    if (std::chrono::steady_clock::now() < *write_release_)
+      return {IoStatus::blocked, false};  // retry_after() names the instant
+    write_release_.reset();
+  }
+  const Faults f = *pending_write_faults_;
+  const TryWrite result = forward_write(frame, f);
+  if (result.accepted) pending_write_faults_.reset();
+  return result;
+}
+
+TryWrite FaultyTransport::forward_write(std::span<const std::byte> frame,
+                                        const Faults& faults) {
+  if (faults.drop) return {IoStatus::ok, true};  // swallowed in transit
+  std::vector<std::byte> mangled;
+  std::span<const std::byte> payload = frame;
+  if (faults.corrupt) {
+    mangled.assign(frame.begin(), frame.end());
+    flip_payload_byte(mangled, faults.corrupt_at);
+    payload = mangled;
+  }
+  TryWrite r = inner_->try_write_frame(payload);
+  if (!r.accepted) return r;
+  if (faults.duplicate)
+    dup_out_frame_.emplace(payload.begin(), payload.end());
+  const IoStatus st = try_flush();  // opportunistically push the duplicate
+  return {st, true};
+}
+
+IoStatus FaultyTransport::try_flush() {
+  if (reset_) return IoStatus::closed;
+  const IoStatus st = inner_->try_flush();
+  if (st != IoStatus::ok) return st;
+  if (dup_out_frame_) {
+    const TryWrite r = inner_->try_write_frame(*dup_out_frame_);
+    if (r.accepted) dup_out_frame_.reset();
+    return r.status;
+  }
+  return IoStatus::ok;
+}
+
+TryRead FaultyTransport::try_read_frame(std::size_t max_len) {
+  if (pending_duplicate_) {
+    TryRead out{IoStatus::ok, std::move(*pending_duplicate_)};
+    pending_duplicate_.reset();
+    return out;
+  }
+  for (;;) {
+    if (reset_) return {IoStatus::closed, {}};
+    if (delayed_read_frame_) {
+      if (std::chrono::steady_clock::now() < *read_release_)
+        return {IoStatus::blocked, {}};  // time-gated; see retry_after()
+      read_release_.reset();
+      const Faults f = *delayed_read_faults_;
+      delayed_read_faults_.reset();
+      std::vector<std::byte> frame = std::move(*delayed_read_frame_);
+      delayed_read_frame_.reset();
+      if (f.drop) continue;  // delayed, then lost anyway
+      if (f.corrupt) flip_payload_byte(frame, f.corrupt_at);
+      if (f.duplicate) pending_duplicate_ = frame;
+      return {IoStatus::ok, std::move(frame)};
+    }
+    TryRead r = inner_->try_read_frame(max_len);
+    if (r.status != IoStatus::ok) return {r.status, {}};
+    // The frame crossed the wire: now it counts against the reset budget
+    // (the blocking path spends the budget up front and refunds on a
+    // failed read — same totals, no refund needed here).
+    if (!consume_frame_budget()) return {IoStatus::closed, {}};
+    const Faults f = draw_faults();
+    if (f.delay) {
+      read_release_ = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(plan_.delay_ms);
+      delayed_read_frame_ = std::move(r.frame);
+      delayed_read_faults_ = f;
+      return {IoStatus::blocked, {}};
+    }
+    if (f.drop) continue;  // lost in transit; try the next one
+    if (f.corrupt) flip_payload_byte(r.frame, f.corrupt_at);
+    if (f.duplicate) pending_duplicate_ = r.frame;
+    return {IoStatus::ok, std::move(r.frame)};
+  }
+}
+
+bool FaultyTransport::want_write() const {
+  return !reset_ && (dup_out_frame_.has_value() || inner_->want_write());
+}
+
+bool FaultyTransport::want_read() const {
+  return pending_duplicate_.has_value() ||
+         (!reset_ && inner_->want_read());
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+FaultyTransport::retry_after() const {
+  if (write_release_ && read_release_)
+    return std::min(*write_release_, *read_release_);
+  if (write_release_) return write_release_;
+  if (read_release_) return read_release_;
+  return inner_->retry_after();
 }
 
 bool FaultyTransport::set_recv_timeout(int timeout_ms) {

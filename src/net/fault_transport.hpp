@@ -103,6 +103,14 @@ class FaultInjector {
 /// A Transport decorator executing a FaultPlan at frame granularity.
 /// Byte-level calls pass through untouched; the protocol stack speaks
 /// frames, and frames are where faults are observable and countable.
+///
+/// Both IO disciplines are faulted identically: the blocking family
+/// realises a delay fault as a sleep (the legacy client path), while the
+/// non-blocking try_* family turns the same delay into a deadline exposed
+/// through retry_after() — the reactor arms a timer-wheel entry and the
+/// loop thread never sleeps.  Faults for a frame are drawn exactly once,
+/// on first touch, so the seeded schedule is identical across retries of
+/// a delayed frame and across the two disciplines.
 class FaultyTransport final : public Transport {
  public:
   /// Standalone wrapper with its own RNG/stat state (unit tests).  Prefer
@@ -116,6 +124,15 @@ class FaultyTransport final : public Transport {
   bool write_frame(std::span<const std::byte> frame) override;
   std::optional<std::vector<std::byte>> read_frame(
       std::size_t max_len) override;
+
+  TryWrite try_write_frame(std::span<const std::byte> frame) override;
+  IoStatus try_flush() override;
+  TryRead try_read_frame(std::size_t max_len) override;
+  bool want_write() const override;
+  bool want_read() const override;
+  std::optional<std::chrono::steady_clock::time_point> retry_after()
+      const override;
+
   bool set_recv_timeout(int timeout_ms) override;
   bool set_send_timeout(int timeout_ms) override;
   bool timed_out() const override;
@@ -141,6 +158,10 @@ class FaultyTransport final : public Transport {
   /// Consume one frame of the reset budget; false once the budget is gone
   /// (the connection is torn down and counted on first exhaustion).
   bool consume_frame_budget();
+  /// Forward an accepted outbound frame (post-faults) to the inner
+  /// transport, duplicating when asked.
+  TryWrite forward_write(std::span<const std::byte> frame,
+                         const Faults& faults);
 
   std::unique_ptr<Transport> inner_;
   FaultPlan plan_;
@@ -148,6 +169,19 @@ class FaultyTransport final : public Transport {
   std::size_t frames_used_ = 0;
   bool reset_ = false;
   std::optional<std::vector<std::byte>> pending_duplicate_;
+
+  // Non-blocking machinery.  Outbound: faults drawn on first touch of a
+  // frame survive {blocked,false} retries; a delay gates acceptance until
+  // write_release_; a drawn duplicate becomes a second copy owed to the
+  // inner transport (dup_out_frame_), drained by try_flush.  Inbound: a
+  // delayed frame is stashed whole with its drawn faults and released
+  // once read_release_ passes.
+  std::optional<Faults> pending_write_faults_;
+  std::optional<std::chrono::steady_clock::time_point> write_release_;
+  std::optional<std::vector<std::byte>> dup_out_frame_;
+  std::optional<std::chrono::steady_clock::time_point> read_release_;
+  std::optional<std::vector<std::byte>> delayed_read_frame_;
+  std::optional<Faults> delayed_read_faults_;
 };
 
 }  // namespace fairshare::net

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "alloc/policies.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/sha256.hpp"
+#include "net/event_loop.hpp"
 #include "obs/export.hpp"
 #include "obs/signal_dump.hpp"
 #include "obs/trace.hpp"
@@ -14,13 +17,26 @@
 
 namespace fairshare::net {
 
-namespace {
+const char* to_string(NetBackend backend) {
+  return backend == NetBackend::epoll ? "epoll" : "threads";
+}
 
-// Largest frame a server will accept from a client (handshake frames and
-// requests are small; coded messages flow the other way).
-constexpr std::size_t kMaxClientFrame = 1 << 16;
+NetBackend default_net_backend() {
+  if (const char* env = std::getenv("FAIRSHARE_NET_BACKEND")) {
+    if (std::strcmp(env, "threads") == 0) return NetBackend::threads;
+    if (std::strcmp(env, "epoll") == 0)
+      return epoll_available() ? NetBackend::epoll : NetBackend::threads;
+    // Unrecognised values fall through to the build default.
+  }
+#if defined(FAIRSHARE_NET_BACKEND_THREADS)
+  return NetBackend::threads;
+#else
+  return epoll_available() ? NetBackend::epoll : NetBackend::threads;
+#endif
+}
 
-crypto::ChaCha20 seeded_rng(std::uint64_t seed, std::uint64_t salt) {
+crypto::ChaCha20 PeerServer::seeded_rng(std::uint64_t seed,
+                                        std::uint64_t salt) {
   crypto::Sha256 h;
   std::uint8_t buf[16];
   for (int i = 0; i < 8; ++i) {
@@ -33,8 +49,6 @@ crypto::ChaCha20 seeded_rng(std::uint64_t seed, std::uint64_t salt) {
   return crypto::ChaCha20(std::span<const std::uint8_t, 32>(key), nonce);
 }
 
-}  // namespace
-
 PeerServer::PeerServer(Config config, p2p::MessageStore store,
                        std::optional<crypto::RsaKeyPair> identity)
     : config_(config),
@@ -46,6 +60,10 @@ PeerServer::PeerServer(Config config, p2p::MessageStore store,
       policy_(std::make_unique<alloc::SynchronizedPolicy>(
           std::make_unique<alloc::ProportionalContributionPolicy>(
               config_.max_users))),
+      pt_requesting_(config_.max_users, 0),
+      pt_received_(config_.max_users, 0.0),
+      pt_shares_(config_.max_users, 0.0),
+      pt_sessions_(config_.max_users, 0),
       registry_(config.registry ? config.registry
                                 : &obs::MetricsRegistry::global()),
       m_user_bytes_(config_.max_users, nullptr),
@@ -133,21 +151,54 @@ std::vector<PeerServer::AllocationShare> PeerServer::allocation_snapshot()
   return out;
 }
 
+NetBackend PeerServer::backend() const {
+  if (started_) return backend_;
+  const NetBackend want = config_.backend.value_or(default_net_backend());
+  return (want == NetBackend::epoll && !epoll_available())
+             ? NetBackend::threads
+             : want;
+}
+
+std::size_t PeerServer::effective_max_sessions() const {
+  return backend_ == NetBackend::threads
+             ? std::min(config_.max_sessions, kThreadsSessionCap)
+             : config_.max_sessions;
+}
+
 bool PeerServer::start() {
-  auto listener = Listener::bind_local(config_.port);
-  if (!listener) return false;
-  listener_ = std::move(*listener);
-  port_ = listener_.port();
+  backend_ = backend();
+  started_ = true;
   if (!config_.stats_json_path.empty()) {
     obs::enable_sigusr1_trigger();
     dump_generation_seen_ = obs::sigusr1_generation();
   }
+  if (backend_ == NetBackend::epoll) {
+    running_ = true;
+    if (reactor_start()) return true;
+    // The reactor could not come up (fd limits, failed bind): fall back
+    // to the portable path rather than refusing to serve.
+    running_ = false;
+    backend_ = NetBackend::threads;
+  }
+  auto listener = Listener::bind_local(config_.port);
+  if (!listener) return false;
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
   running_ = true;
-  // max_sessions workers plus the (never-participating) caller slot.
-  pool_ = std::make_unique<util::ThreadPool>(
-      std::max<std::size_t>(config_.max_sessions, 1) + 1);
-  if (config_.rate_kbps > 0.0)
+  // Pool capacity is effective_max_sessions workers plus the
+  // (never-participating) caller slot.  The pool spawns lazily, so this
+  // is a ceiling on concurrent sessions, not an upfront thread cost; the
+  // kThreadsSessionCap clamp additionally keeps the 1024-session default
+  // from meaning a thousand-thread burst under full load.
+  const std::size_t workers =
+      std::max<std::size_t>(effective_max_sessions(), 1) + 1;
+  pool_ = std::make_unique<util::ThreadPool>(workers);
+  std::size_t serving = workers + 1;  // + accept loop (capacity, not spawned)
+  if (config_.rate_kbps > 0.0) {
     pacing_thread_ = std::thread([this] { pacing_loop(); });
+    ++serving;
+  }
+  serving_threads_ = serving;
   accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
 }
@@ -161,7 +212,9 @@ void PeerServer::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   pool_.reset();  // joins every in-flight session handler
   if (pacing_thread_.joinable()) pacing_thread_.join();
+  reactor_stop();  // joins the loops (no-op for the threads backend)
   listener_.close();
+  serving_threads_ = 0;
   // At-exit dump, once, after every session has finished counting.
   if (was_running && !config_.stats_json_path.empty())
     obs::dump_json(*registry_, config_.stats_json_path);
@@ -180,7 +233,7 @@ void PeerServer::accept_loop() {
     }
     auto client = listener_.accept(/*timeout_ms=*/50);
     if (!client) continue;
-    if (active_sessions_.load() >= config_.max_sessions) {
+    if (active_sessions_.load() >= effective_max_sessions()) {
       ++sessions_rejected_;
       m_sessions_rejected_->add(1);
       continue;  // Socket destructor closes the connection
@@ -210,14 +263,60 @@ void PeerServer::accept_loop() {
   }
 }
 
+void PeerServer::pacing_tick_locked() {
+  ++pt_slot_;
+  const double quantum_s = config_.pacing_quantum_ms / 1000.0;
+  const std::uint64_t tick_t0 = obs::monotonic_ns();
+
+  std::fill(pt_requesting_.begin(), pt_requesting_.end(), 0);
+  std::fill(pt_received_.begin(), pt_received_.end(), 0.0);
+  std::fill(pt_sessions_.begin(), pt_sessions_.end(), 0);
+  for (const auto& [id, st] : sessions_) {
+    pt_received_[st->user_slot] += st->quantum_bytes;
+    st->quantum_bytes = 0.0;
+    if (st->streaming) {
+      pt_requesting_[st->user_slot] = 1;
+      ++pt_sessions_[st->user_slot];
+    }
+  }
+
+  // Feedback first: Equation (2)'s ledger S accumulates the service each
+  // user's peer has actually delivered (here: bytes this server sent on
+  // the user's behalf — the local measurement available to a live peer).
+  alloc::SlotFeedback feedback;
+  feedback.slot = pt_slot_;
+  feedback.received = pt_received_;
+  policy_->observe(feedback);
+
+  alloc::PeerContext ctx;
+  ctx.self = 0;
+  ctx.slot = pt_slot_;
+  ctx.capacity = config_.rate_kbps;
+  ctx.requesting = pt_requesting_;
+  ctx.declared = declared_;  // live peers declare nothing (all zeros)
+  policy_->allocate(ctx, pt_shares_);
+
+  for (std::size_t s = 0; s < config_.max_users; ++s) {
+    user_rate_kbps_[s] = pt_requesting_[s] ? pt_shares_[s] : 0.0;
+    if (m_user_rate_[s]) m_user_rate_[s]->set(user_rate_kbps_[s]);
+  }
+
+  for (const auto& [id, st] : sessions_) {
+    if (!st->streaming) continue;
+    double share = pt_shares_[st->user_slot] /
+                   static_cast<double>(pt_sessions_[st->user_slot]);
+    if (st->cap_kbps > 0.0) share = std::min(share, st->cap_kbps);
+    const double grant = share * 1000.0 / 8.0 * quantum_s;  // kbps -> bytes
+    st->budget_bytes += grant;
+    // A session that fell asleep must not burst an unbounded backlog.
+    const double burst_cap = std::max(4.0 * grant, 1.0);
+    st->budget_bytes = std::min(st->budget_bytes, burst_cap);
+  }
+  m_quantum_ns_->record(obs::monotonic_ns() - tick_t0);
+}
+
 void PeerServer::pacing_loop() {
   const auto quantum = std::chrono::milliseconds(config_.pacing_quantum_ms);
-  const double quantum_s = config_.pacing_quantum_ms / 1000.0;
-  std::vector<std::uint8_t> requesting(config_.max_users);
-  std::vector<double> received(config_.max_users);
-  std::vector<double> shares(config_.max_users);
-  std::vector<std::size_t> per_user_sessions(config_.max_users);
-  std::uint64_t slot = 0;
   auto next = std::chrono::steady_clock::now() + quantum;
 
   std::unique_lock<std::mutex> lock(pacing_mutex_);
@@ -225,54 +324,7 @@ void PeerServer::pacing_loop() {
     pacing_cv_.wait_until(lock, next, [&] { return !running_.load(); });
     if (!running_) break;
     next += quantum;
-    ++slot;
-    const std::uint64_t tick_t0 = obs::monotonic_ns();
-
-    std::fill(requesting.begin(), requesting.end(), 0);
-    std::fill(received.begin(), received.end(), 0.0);
-    std::fill(per_user_sessions.begin(), per_user_sessions.end(), 0);
-    for (const auto& [id, st] : sessions_) {
-      received[st->user_slot] += st->quantum_bytes;
-      st->quantum_bytes = 0.0;
-      if (st->streaming) {
-        requesting[st->user_slot] = 1;
-        ++per_user_sessions[st->user_slot];
-      }
-    }
-
-    // Feedback first: Equation (2)'s ledger S accumulates the service each
-    // user's peer has actually delivered (here: bytes this server sent on
-    // the user's behalf — the local measurement available to a live peer).
-    alloc::SlotFeedback feedback;
-    feedback.slot = slot;
-    feedback.received = received;
-    policy_->observe(feedback);
-
-    alloc::PeerContext ctx;
-    ctx.self = 0;
-    ctx.slot = slot;
-    ctx.capacity = config_.rate_kbps;
-    ctx.requesting = requesting;
-    ctx.declared = declared_;  // live peers declare nothing (all zeros)
-    policy_->allocate(ctx, shares);
-
-    for (std::size_t s = 0; s < config_.max_users; ++s) {
-      user_rate_kbps_[s] = requesting[s] ? shares[s] : 0.0;
-      if (m_user_rate_[s]) m_user_rate_[s]->set(user_rate_kbps_[s]);
-    }
-
-    for (const auto& [id, st] : sessions_) {
-      if (!st->streaming) continue;
-      double share = shares[st->user_slot] /
-                     static_cast<double>(per_user_sessions[st->user_slot]);
-      if (st->cap_kbps > 0.0) share = std::min(share, st->cap_kbps);
-      const double grant = share * 1000.0 / 8.0 * quantum_s;  // kbps -> bytes
-      st->budget_bytes += grant;
-      // A session that fell asleep must not burst an unbounded backlog.
-      const double burst_cap = std::max(4.0 * grant, 1.0);
-      st->budget_bytes = std::min(st->budget_bytes, burst_cap);
-    }
-    m_quantum_ns_->record(obs::monotonic_ns() - tick_t0);
+    pacing_tick_locked();
     pacing_cv_.notify_all();
   }
   lock.unlock();

@@ -7,14 +7,26 @@
 // work — they read frames out of their store and pace them to the
 // configured upload rate.
 //
-// Sessions run concurrently: the accept loop hands each connection to a
-// util::ThreadPool worker (bounded by Config::max_sessions), and a pacing
-// scheduler re-divides rate_kbps across the active sessions every quantum
-// through a pluggable alloc::AllocationPolicy — by default the paper's
-// Equation (2) contribution-proportional rule, keyed by authenticated
-// user id and fed by the bytes each user was actually served.  The live
-// server therefore reproduces the allocation dynamics the simulator
-// models, instead of serializing downloads one at a time.
+// Sessions run concurrently under one of two serving backends:
+//
+//  * NetBackend::epoll (the default where available) — an event-driven
+//    core: N net::EventLoop reactors (Config::num_loops, SO_REUSEPORT-
+//    sharded listeners) own every session fd; each session is a
+//    non-blocking state machine (hello -> response -> request ->
+//    streaming -> done) driven by readiness callbacks, and the Eq. (2)
+//    re-allocation runs as a periodic entry on loop 0's timer wheel.
+//    Serving threads are O(loops), not O(sessions), so max_sessions can
+//    be raised into the hundreds without a thread per connection.
+//  * NetBackend::threads — the original blocking path: the accept loop
+//    hands each connection to a util::ThreadPool worker and a pacing
+//    thread re-divides rate_kbps every quantum.  Kept as the portable
+//    fallback and for A/B runs (FAIRSHARE_NET_BACKEND=threads).
+//
+// Both backends drive the same pluggable alloc::AllocationPolicy — by
+// default the paper's Equation (2) contribution-proportional rule, keyed
+// by authenticated user id and fed by the bytes each user was actually
+// served — through one shared pacing tick, so the live server reproduces
+// the allocation dynamics the simulator models under either backend.
 #pragma once
 
 #include <atomic>
@@ -40,6 +52,21 @@
 
 namespace fairshare::net {
 
+/// Which serving core a PeerServer runs.
+enum class NetBackend {
+  threads,  ///< blocking IO, one ThreadPool worker per session
+  epoll,    ///< non-blocking reactor(s); threads are O(loops)
+};
+
+const char* to_string(NetBackend backend);
+
+/// The backend a server uses when Config::backend is unset: the
+/// FAIRSHARE_NET_BACKEND environment variable ("threads"/"epoll") wins,
+/// then the compile-time FAIRSHARE_NET_BACKEND_THREADS pin (cmake
+/// -DFAIRSHARE_NET_BACKEND=threads), then epoll wherever it is
+/// available, else threads.
+NetBackend default_net_backend();
+
 class PeerServer {
  public:
   struct Config {
@@ -48,7 +75,17 @@ class PeerServer {
     bool require_auth = true;
     std::uint64_t peer_id = 0;
     std::uint64_t rng_seed = 1;  ///< nonce/session-key stream seed
-    std::size_t max_sessions = 32;  ///< concurrent sessions; extras dropped
+    /// Serving core; unset = default_net_backend().  A request for epoll
+    /// where the platform has none falls back to threads.
+    std::optional<NetBackend> backend;
+    /// Event loops (and SO_REUSEPORT listener shards) for the epoll
+    /// backend; ignored by the threads backend.
+    std::size_t num_loops = 1;
+    /// Concurrent sessions; extras are dropped at accept.  The epoll
+    /// backend serves this many from O(num_loops) threads; the threads
+    /// backend clamps its effective bound to kThreadsSessionCap so the
+    /// pool stays sane.
+    std::size_t max_sessions = 1024;
     std::size_t max_users = 64;     ///< distinct users the ledger can track
     int pacing_quantum_ms = 20;     ///< scheduler re-allocation period
     int recv_timeout_ms = 100;      ///< session recv poll (shutdown latency)
@@ -109,6 +146,13 @@ class PeerServer {
   void stop();
 
   std::uint16_t port() const { return port_; }
+  /// The backend actually serving (resolved at start(); before start(),
+  /// what would resolve now).
+  NetBackend backend() const;
+  /// Threads dedicated to serving: accept + pacing + pool workers under
+  /// the threads backend, num_loops under epoll — the scaling claim
+  /// "threads are O(loops), not O(sessions)" made measurable.
+  std::size_t serving_threads() const { return serving_threads_; }
   std::size_t sessions_completed() const { return sessions_completed_; }
   std::size_t auth_rejections() const { return auth_rejections_; }
   std::size_t messages_sent() const { return messages_sent_; }
@@ -139,8 +183,25 @@ class PeerServer {
     bool streaming = false;      ///< counts as "requesting" in Eq. (2)
   };
 
+  /// The epoll backend's world (loops, listeners, reactor sessions);
+  /// defined in peer_server_epoll.cpp.  Nested so it reaches the pacing
+  /// state and instruments directly.
+  struct ReactorState;
+
+  /// Threads-backend session bound: a pool this size plus one is spawned
+  /// whole at start(), so the configured 1024-session default must not
+  /// translate into a thousand idle threads.
+  static constexpr std::size_t kThreadsSessionCap = 256;
+  /// Largest frame accepted from a client (handshake frames and requests
+  /// are small; coded messages flow the other way).
+  static constexpr std::size_t kMaxClientFrame = 1 << 16;
+
   void accept_loop();
   void pacing_loop();
+  /// One Eq. (2) re-allocation: feedback -> allocate -> refill budgets.
+  /// Requires pacing_mutex_; shared verbatim by the pacing thread and the
+  /// reactor's timer-wheel entry.
+  void pacing_tick_locked();
   void handle_session(Transport& client, std::uint64_t salt);
   /// recv_frame that retries clean timeouts until `deadline` or shutdown.
   std::optional<std::vector<std::byte>> recv_frame_by(
@@ -148,6 +209,14 @@ class PeerServer {
   /// Slot index for a user id, assigning one if unseen; nullopt when all
   /// Config::max_users slots are taken.  Requires pacing_mutex_.
   std::optional<std::size_t> user_slot_locked(std::uint64_t user_id);
+  /// max_sessions as the running backend enforces it.
+  std::size_t effective_max_sessions() const;
+  /// Deterministic per-session nonce/key stream.
+  static crypto::ChaCha20 seeded_rng(std::uint64_t seed, std::uint64_t salt);
+  // Epoll backend bring-up/teardown (peer_server_epoll.cpp; the non-Linux
+  // build stubs them out and start() falls back to threads).
+  bool reactor_start();
+  void reactor_stop();
 
   Config config_;
   p2p::MessageStore store_;
@@ -155,10 +224,16 @@ class PeerServer {
   std::map<std::uint64_t, crypto::RsaPublicKey> users_;
   Listener listener_;
   std::uint16_t port_ = 0;
+  NetBackend backend_ = NetBackend::threads;  // resolved at start()
+  bool started_ = false;
   std::thread accept_thread_;
   std::thread pacing_thread_;
   std::unique_ptr<util::ThreadPool> pool_;
+  // shared_ptr (not unique_ptr) so the deleter is captured where the type
+  // is complete (peer_server_epoll.cpp) and every other TU can destroy it.
+  std::shared_ptr<ReactorState> reactor_;
   std::atomic<bool> running_{false};
+  std::atomic<std::size_t> serving_threads_{0};
   std::atomic<std::uint64_t> session_counter_{0};  // the one salt source
 
   // Pacing state: one mutex guards the session registry, every
@@ -172,6 +247,12 @@ class PeerServer {
   std::vector<double> user_rate_kbps_;
   std::vector<double> declared_;  // zeros; live peers declare nothing
   std::unique_ptr<alloc::SynchronizedPolicy> policy_;
+  // pacing_tick_locked scratch (guarded by pacing_mutex_; sized max_users).
+  std::vector<std::uint8_t> pt_requesting_;
+  std::vector<double> pt_received_;
+  std::vector<double> pt_shares_;
+  std::vector<std::size_t> pt_sessions_;
+  std::uint64_t pt_slot_ = 0;
 
   std::atomic<std::size_t> sessions_completed_{0};
   std::atomic<std::size_t> auth_rejections_{0};

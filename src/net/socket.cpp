@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -8,17 +9,31 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 namespace fairshare::net {
+
+namespace {
+
+bool fd_set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return next == flags || ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+}  // namespace
 
 // ------------------------------------------------------------------ Socket
 
 Socket::~Socket() { close(); }
 
 Socket::Socket(Socket&& other) noexcept
-    : fd_(other.fd_), timed_out_(other.timed_out_) {
+    : fd_(other.fd_),
+      timed_out_(other.timed_out_),
+      recv_timeout_ms_(other.recv_timeout_ms_) {
   other.fd_ = -1;
 }
 
@@ -27,16 +42,21 @@ Socket& Socket::operator=(Socket&& other) noexcept {
     close();
     fd_ = other.fd_;
     timed_out_ = other.timed_out_;
+    recv_timeout_ms_ = other.recv_timeout_ms_;
     other.fd_ = -1;
   }
   return *this;
 }
 
+bool Socket::set_nonblocking(bool on) { return fd_set_nonblocking(fd_, on); }
+
 bool Socket::set_recv_timeout(int timeout_ms) {
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+  // Poll-based: recv() itself never carries the timeout, so the setting
+  // works identically on blocking and O_NONBLOCK fds (SO_RCVTIMEO is
+  // ignored by a non-blocking recv, which used to make the old API decay
+  // to a busy spin the moment a reactor flipped the fd's mode).
+  recv_timeout_ms_ = timeout_ms > 0 ? timeout_ms : 0;
+  return fd_ >= 0;
 }
 
 bool Socket::set_send_timeout(int timeout_ms) {
@@ -82,6 +102,12 @@ bool Socket::write_all(std::span<const std::byte> data) {
                              MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Non-blocking fd used through the blocking API: wait for space
+        // (bounded, so a peer that stopped reading cannot park us).
+        pollfd pfd{fd_, POLLOUT, 0};
+        if (::poll(&pfd, 1, 1000) > 0) continue;
+      }
       return false;
     }
     sent += static_cast<std::size_t>(n);
@@ -97,15 +123,33 @@ bool Socket::read_exact(std::span<std::byte> out) {
   // arrivals normally complete within one window).
   int stalls = 0;
   while (got < out.size()) {
-    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    // The timeout lives in poll(), not in recv(): identical behaviour
+    // whether or not the fd is O_NONBLOCK.
+    if (recv_timeout_ms_ > 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, recv_timeout_ms_);
+      if (ready == 0) {
         if (got == 0) {
           timed_out_ = true;  // clean timeout, nothing consumed: retryable
           return false;
         }
         if (++stalls < 20) continue;
+        return false;
+      }
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+    }
+    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got,
+                             recv_timeout_ms_ > 0 ? MSG_DONTWAIT : 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (recv_timeout_ms_ > 0) continue;  // poll above re-arms the wait
+        // No timeout configured but the fd is non-blocking: block here.
+        pollfd pfd{fd_, POLLIN, 0};
+        if (::poll(&pfd, 1, -1) > 0 || errno == EINTR) continue;
       }
       return false;
     }
@@ -118,6 +162,43 @@ bool Socket::read_exact(std::span<std::byte> out) {
 bool Socket::readable(int timeout_ms) {
   pollfd pfd{fd_, POLLIN, 0};
   return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN);
+}
+
+IoStatus Socket::try_read_bytes(std::byte* out, std::size_t n,
+                                std::size_t& got) {
+  got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out + got, n - got, MSG_DONTWAIT);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got > 0 ? IoStatus::ok : IoStatus::closed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return got > 0 ? IoStatus::ok : IoStatus::blocked;
+    return IoStatus::error;
+  }
+  return IoStatus::ok;
+}
+
+IoStatus Socket::try_write_bytes(const std::byte* data, std::size_t n,
+                                 std::size_t& put) {
+  put = 0;
+  while (put < n) {
+    const ssize_t r = ::send(fd_, data + put, n - put,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (r > 0) {
+      put += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return put > 0 ? IoStatus::ok : IoStatus::blocked;
+    return errno == EPIPE || errno == ECONNRESET ? IoStatus::closed
+                                                 : IoStatus::error;
+  }
+  return IoStatus::ok;
 }
 
 // ---------------------------------------------------------------- Listener
@@ -146,18 +227,32 @@ void Listener::close() {
   }
 }
 
-std::optional<Listener> Listener::bind_local(std::uint16_t port) {
+bool Listener::set_nonblocking(bool on) {
+  return fd_set_nonblocking(fd_, on);
+}
+
+std::optional<Listener> Listener::bind_local(std::uint16_t port,
+                                             bool reuse_port, int backlog) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  if (reuse_port)
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+#else
+  if (reuse_port) {
+    ::close(fd);
+    return std::nullopt;
+  }
+#endif
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
+      ::listen(fd, backlog) != 0) {
     ::close(fd);
     return std::nullopt;
   }

@@ -12,7 +12,12 @@
 // can substitute fault-injecting wrappers (fault_transport.hpp).
 //
 // Frames on the wire: u32 little-endian length, then that many bytes
-// (a p2p::wire frame).  Blocking IO with short timeouts; IPv4 only.
+// (a p2p::wire frame).  IPv4 only.  Two IO disciplines share one fd:
+//  * blocking calls (read_exact/write_all) with poll()-backed recv
+//    timeouts — timeouts keep working even when the fd is O_NONBLOCK, so
+//    the legacy client path and tests are oblivious to the mode;
+//  * the inherited non-blocking frame machine over MSG_DONTWAIT
+//    primitives, which the epoll reactor (net/event_loop.hpp) drives.
 #pragma once
 
 #include <cstddef>
@@ -43,11 +48,19 @@ class Socket final : public Transport {
 
   bool valid() const override { return fd_ >= 0; }
   int fd() const { return fd_; }
+  /// The raw OS handle, for event-loop registration (epoll keys on it).
+  int native_handle() const { return fd_; }
   void close() override;
 
-  /// Bound every subsequent read with SO_RCVTIMEO (0 = block forever).
-  /// Lets a reader wake up periodically to re-check shutdown flags instead
-  /// of parking in recv() until the peer says something.
+  /// Toggle O_NONBLOCK.  The blocking read/write API keeps working either
+  /// way (recv timeouts are poll()-based, sends fall back to poll on
+  /// EAGAIN); the try_* family never blocks regardless (MSG_DONTWAIT).
+  bool set_nonblocking(bool on);
+
+  /// Bound every subsequent read (0 = block forever).  Implemented with
+  /// poll() rather than SO_RCVTIMEO so it is honoured in both blocking
+  /// and non-blocking mode.  Lets a reader wake up periodically to
+  /// re-check shutdown flags instead of parking in recv() forever.
   bool set_recv_timeout(int timeout_ms) override;
   /// Bound every subsequent write with SO_SNDTIMEO (0 = block forever);
   /// write_all fails instead of hanging on a peer that stopped reading.
@@ -68,9 +81,16 @@ class Socket final : public Transport {
   /// True when at least one byte is readable within timeout_ms.
   bool readable(int timeout_ms) override;
 
+ protected:
+  IoStatus try_read_bytes(std::byte* out, std::size_t n,
+                          std::size_t& got) override;
+  IoStatus try_write_bytes(const std::byte* data, std::size_t n,
+                           std::size_t& put) override;
+
  private:
   int fd_ = -1;
   bool timed_out_ = false;
+  int recv_timeout_ms_ = 0;  ///< 0 = wait forever
 };
 
 /// RAII listening socket.
@@ -84,13 +104,24 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   /// Bind + listen on 127.0.0.1:port.  port 0 picks a free port (readable
-  /// via port()).
-  static std::optional<Listener> bind_local(std::uint16_t port);
+  /// via port()).  `reuse_port` sets SO_REUSEPORT before bind so several
+  /// listeners (one per event loop) can shard one port kernel-side;
+  /// `backlog` sizes the accept queue (hundreds of sessions may dial in
+  /// one burst against a reactor server).
+  static std::optional<Listener> bind_local(std::uint16_t port,
+                                            bool reuse_port = false,
+                                            int backlog = 512);
 
   std::uint16_t port() const { return port_; }
   bool valid() const { return fd_ >= 0; }
+  /// The raw OS handle, for event-loop registration.
+  int native_handle() const { return fd_; }
+  /// Toggle O_NONBLOCK (a reactor accepts until EAGAIN).
+  bool set_nonblocking(bool on);
 
   /// Accept one connection; nullopt on timeout (timeout_ms) or error.
+  /// With timeout_ms == 0 on a non-blocking listener this is the
+  /// reactor's drain call: it never sleeps.
   std::optional<Socket> accept(int timeout_ms);
 
   void close();

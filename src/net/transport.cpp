@@ -1,5 +1,7 @@
 #include "net/transport.hpp"
 
+#include <cstring>
+
 namespace fairshare::net {
 
 bool Transport::write_frame(std::span<const std::byte> frame) {
@@ -27,6 +29,109 @@ std::optional<std::vector<std::byte>> Transport::read_frame(
     return std::nullopt;
   }
   return frame;
+}
+
+// ------------------------------------------------------ non-blocking path
+
+IoStatus Transport::try_read_bytes(std::byte* out, std::size_t n,
+                                   std::size_t& got) {
+  // Emulation over the blocking primitives, for transports without real
+  // non-blocking IO (test pipes): only start a read when at least one
+  // byte is pending, then read the requested span whole.  Partial frames
+  // may block briefly; frames are written whole, so in practice they
+  // complete within one call.
+  got = 0;
+  if (!readable(0)) return IoStatus::blocked;
+  if (!read_exact(std::span<std::byte>(out, n))) {
+    if (timed_out()) return IoStatus::blocked;
+    return valid() ? IoStatus::closed : IoStatus::error;
+  }
+  got = n;
+  return IoStatus::ok;
+}
+
+IoStatus Transport::try_write_bytes(const std::byte* data, std::size_t n,
+                                    std::size_t& put) {
+  put = 0;
+  if (!write_all(std::span<const std::byte>(data, n)))
+    return valid() ? IoStatus::closed : IoStatus::error;
+  put = n;
+  return IoStatus::ok;
+}
+
+TryWrite Transport::try_write_frame(std::span<const std::byte> frame) {
+  // Backpressure: a new frame is accepted only once the previous one has
+  // fully drained, so staging stays bounded by one frame and the caller's
+  // pacing budget counts each frame exactly once.
+  if (want_write()) {
+    const IoStatus flushed = try_flush();
+    if (flushed == IoStatus::blocked) return {IoStatus::blocked, false};
+    if (flushed != IoStatus::ok) return {flushed, false};
+  }
+  out_buf_.resize(4 + frame.size());
+  out_off_ = 0;
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i)
+    out_buf_[i] = std::byte{static_cast<std::uint8_t>(len >> (8 * i))};
+  if (!frame.empty())
+    std::memcpy(out_buf_.data() + 4, frame.data(), frame.size());
+  const IoStatus flushed = try_flush();
+  if (flushed == IoStatus::blocked) return {IoStatus::blocked, true};
+  return {flushed, flushed == IoStatus::ok};
+}
+
+IoStatus Transport::try_flush() {
+  while (out_off_ < out_buf_.size()) {
+    std::size_t put = 0;
+    const IoStatus st = try_write_bytes(out_buf_.data() + out_off_,
+                                        out_buf_.size() - out_off_, put);
+    out_off_ += put;
+    if (st != IoStatus::ok) return st;
+  }
+  out_buf_.clear();
+  out_off_ = 0;
+  return IoStatus::ok;
+}
+
+TryRead Transport::try_read_frame(std::size_t max_len) {
+  // Header, then body; both may arrive in fragments across calls.
+  while (in_hdr_got_ < 4) {
+    std::size_t got = 0;
+    const IoStatus st =
+        try_read_bytes(in_hdr_ + in_hdr_got_, 4 - in_hdr_got_, got);
+    in_hdr_got_ += got;
+    if (st != IoStatus::ok) {
+      if (st == IoStatus::blocked) return {IoStatus::blocked, {}};
+      // EOF cleanly *between* frames is closed; mid-header it is an error.
+      if (st == IoStatus::closed)
+        return {in_hdr_got_ == 0 ? IoStatus::closed : IoStatus::error, {}};
+      return {IoStatus::error, {}};
+    }
+  }
+  if (in_body_.empty() && in_got_ == 0) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+      len |= static_cast<std::uint32_t>(
+                 std::to_integer<std::uint8_t>(in_hdr_[i]))
+             << (8 * i);
+    if (len > max_len) return {IoStatus::error, {}};
+    in_body_.resize(len);
+  }
+  while (in_got_ < in_body_.size()) {
+    std::size_t got = 0;
+    const IoStatus st = try_read_bytes(in_body_.data() + in_got_,
+                                       in_body_.size() - in_got_, got);
+    in_got_ += got;
+    if (st != IoStatus::ok) {
+      if (st == IoStatus::blocked) return {IoStatus::blocked, {}};
+      return {st == IoStatus::closed ? IoStatus::error : st, {}};  // mid-frame
+    }
+  }
+  TryRead out{IoStatus::ok, std::move(in_body_)};
+  in_body_ = {};
+  in_hdr_got_ = 0;
+  in_got_ = 0;
+  return out;
 }
 
 bool send_frame(Transport& transport, std::span<const std::byte> frame) {

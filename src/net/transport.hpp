@@ -13,8 +13,28 @@
 // a p2p::wire frame).  Default implementations are provided in terms of
 // the byte-level primitives; wrappers override them to observe frame
 // boundaries (the natural unit for fault injection).
+//
+// Non-blocking half (the reactor serving path, net/event_loop.hpp):
+// try_read_frame / try_write_frame never block.  The base class carries
+// the partial-frame state machines — an in-progress inbound header/body
+// and an outbound staging buffer — over two overridable non-blocking byte
+// primitives, so any Transport gets working non-blocking framing for
+// free and wrappers can intercept at frame granularity:
+//
+//  * try_write_frame ACCEPTS a frame at most once (TryWrite::accepted):
+//    once accepted it is staged and will be delivered by try_flush, so
+//    callers count bytes exactly once; accepted==false means "retry the
+//    same frame later" (outbound backlog, or a fault-injected delay whose
+//    release time retry_after() exposes so reactors arm a timer instead
+//    of sleeping).
+//  * want_write() says whether staged output remains; the reactor maps it
+//    onto EPOLLOUT interest.  want_read() says a frame is mid-reassembly.
+//  * blocking and non-blocking calls may be mixed on one transport as
+//    long as they are not interleaved mid-frame (the server uses only the
+//    try_* family; the client only the blocking family).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -22,6 +42,29 @@
 #include <vector>
 
 namespace fairshare::net {
+
+/// How a non-blocking operation ended.
+enum class IoStatus {
+  ok,       ///< completed fully
+  blocked,  ///< made what progress it could; wait for readiness or
+            ///< retry_after(), then call again
+  closed,   ///< orderly EOF — the peer is gone
+  error,    ///< hard failure; the connection is unusable
+};
+
+/// Result of try_write_frame.  `accepted` is the ownership handoff: a
+/// frame is accepted at most once, after which the transport delivers it
+/// (possibly across several try_flush calls) without the caller resending.
+struct TryWrite {
+  IoStatus status = IoStatus::error;
+  bool accepted = false;
+};
+
+/// Result of try_read_frame.  `frame` is meaningful only when status==ok.
+struct TryRead {
+  IoStatus status = IoStatus::error;
+  std::vector<std::byte> frame;
+};
 
 /// Abstract bidirectional, connection-oriented transport.
 class Transport {
@@ -45,6 +88,38 @@ class Transport {
   virtual std::optional<std::vector<std::byte>> read_frame(
       std::size_t max_len);
 
+  // ------------------------------------------------ non-blocking frames
+
+  /// Stage one frame for delivery without blocking (see the accepted
+  /// contract in the header comment).  Default: appends header+frame to
+  /// the staging buffer once the previous frame has fully drained, then
+  /// flushes opportunistically.
+  virtual TryWrite try_write_frame(std::span<const std::byte> frame);
+
+  /// Drain staged output.  ok = nothing left, blocked = bytes remain
+  /// (wait for writability), closed/error = connection dead.
+  virtual IoStatus try_flush();
+
+  /// Reassemble one frame without blocking.  blocked until a full frame
+  /// (header + body) has arrived; oversized frames report error.
+  virtual TryRead try_read_frame(std::size_t max_len);
+
+  /// Staged outbound bytes remain (map onto EPOLLOUT interest).
+  virtual bool want_write() const { return out_off_ < out_buf_.size(); }
+  /// An inbound frame is mid-reassembly (header or body partially read).
+  virtual bool want_read() const { return in_hdr_got_ > 0 || in_got_ > 0; }
+
+  /// When a blocked try_* call is waiting on *time* rather than on fd
+  /// readiness (fault-injected delays), the steady-clock instant at which
+  /// retrying can make progress; reactors arm a timer-wheel entry for it
+  /// instead of sleeping.  nullopt = readiness-driven as usual.
+  virtual std::optional<std::chrono::steady_clock::time_point> retry_after()
+      const {
+    return std::nullopt;
+  }
+
+  // ------------------------------------------------------------- control
+
   /// Bound subsequent reads (0 = block forever).
   virtual bool set_recv_timeout(int timeout_ms) = 0;
   /// Bound subsequent writes (0 = block forever).
@@ -60,6 +135,28 @@ class Transport {
 
   virtual void close() = 0;
   virtual bool valid() const = 0;
+
+ protected:
+  /// Non-blocking byte primitives under the default frame machines.
+  /// `got`/`put` report partial progress; status blocked means zero-or-
+  /// partial progress with the rest pending.  The defaults emulate over
+  /// the blocking primitives (readable(0) + read_exact / write_all) for
+  /// transports without real non-blocking IO (in-process pipes in tests);
+  /// Socket overrides them with MSG_DONTWAIT send/recv.
+  virtual IoStatus try_read_bytes(std::byte* out, std::size_t n,
+                                  std::size_t& got);
+  virtual IoStatus try_write_bytes(const std::byte* data, std::size_t n,
+                                   std::size_t& put);
+
+ private:
+  // Outbound staging: [out_off_, out_buf_.size()) awaits the wire.
+  std::vector<std::byte> out_buf_;
+  std::size_t out_off_ = 0;
+  // Inbound reassembly: header first, then body.
+  std::byte in_hdr_[4] = {};
+  std::size_t in_hdr_got_ = 0;
+  std::vector<std::byte> in_body_;
+  std::size_t in_got_ = 0;
 };
 
 /// Send one length-prefixed frame (delegates to transport.write_frame).

@@ -9,9 +9,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  // The caller participates in parallel_for, so spawn threads - 1 workers.
-  workers_.reserve(threads > 0 ? threads - 1 : 0);
-  for (std::size_t i = 1; i < threads; ++i)
+  // The caller participates in parallel_for, so the worker cap is
+  // threads - 1.  Nothing spawns here: workers appear on demand.
+  limit_ = threads - 1;
+  workers_.reserve(limit_);
+}
+
+void ThreadPool::spawn_up_to_locked(std::size_t want) {
+  if (stop_) return;
+  want = std::min(want, limit_);
+  while (workers_.size() < want)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
@@ -47,11 +54,13 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      ++idle_;
       wake_.wait(lock, [&] {
         return stop_ || !tasks_.empty() ||
                (fn_ != nullptr && generation_ != seen_generation &&
                 next_job_ < jobs_);
       });
+      --idle_;
       if (stop_) return;
       if (fn_ != nullptr && generation_ != seen_generation &&
           next_job_ < jobs_) {
@@ -71,10 +80,14 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  assert(!workers_.empty() && "submit() needs at least one worker thread");
+  assert(limit_ > 0 && "submit() needs at least one worker thread");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push_back(std::move(task));
+    // Every queued task should have an idle worker lined up; grow toward
+    // the cap only when demand outruns the supply.
+    if (idle_ < tasks_.size())
+      spawn_up_to_locked(workers_.size() + (tasks_.size() - idle_));
   }
   wake_.notify_one();
 }
@@ -82,13 +95,16 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t jobs,
                               const std::function<void(std::size_t)>& fn) {
   if (jobs == 0) return;
-  if (jobs == 1 || workers_.empty()) {
+  if (jobs == 1 || limit_ == 0) {
     for (std::size_t i = 0; i < jobs; ++i) fn(i);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     assert(fn_ == nullptr && "nested parallel_for is not supported");
+    // The batch is a barrier with known demand: make sure enough workers
+    // exist for every job to run concurrently with the caller.
+    spawn_up_to_locked(jobs - 1);
     fn_ = &fn;
     jobs_ = jobs;
     next_job_ = 0;

@@ -20,19 +20,25 @@
 
 namespace fairshare::util {
 
-/// Fixed-size worker pool.  parallel_for blocks the caller until every
+/// Bounded worker pool.  parallel_for blocks the caller until every
 /// chunk has run; nested parallel_for from inside a task is not supported.
+///
+/// Workers spawn lazily: construction costs no threads, and threads come
+/// into existence only when outstanding work exceeds the idle supply (up
+/// to the construction-time cap).  A server that sizes its pool for a
+/// worst-case session count therefore pays for the sessions it actually
+/// has, which matters on small machines running many servers.
 class ThreadPool {
  public:
-  /// `threads` workers (>= 1).  0 selects hardware_concurrency.
+  /// Capacity of `threads` (>= 1).  0 selects hardware_concurrency.
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total parallelism (workers + the participating caller).
-  std::size_t size() const { return workers_.size() + 1; }
+  /// Total parallelism (worker cap + the participating caller).
+  std::size_t size() const { return limit_ + 1; }
 
   /// Invoke fn(i) for every i in [0, jobs), distributed over the pool
   /// (the calling thread participates).  Blocks until all complete.
@@ -46,12 +52,15 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Worker threads available to submit().
-  std::size_t workers() const { return workers_.size(); }
+  std::size_t workers() const { return limit_; }
 
  private:
   void worker_loop();
   bool grab_and_run();
+  void spawn_up_to_locked(std::size_t want);
 
+  std::size_t limit_ = 0;
+  std::size_t idle_ = 0;
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable wake_;

@@ -1,0 +1,86 @@
+#include "util/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace fairshare::util {
+
+TimerWheel::TimerWheel(std::uint64_t tick_ns)
+    : tick_ns_(tick_ns ? tick_ns : 1) {}
+
+TimerWheel::TimerId TimerWheel::add(std::uint64_t deadline_ns, Callback cb) {
+  const TimerId id = next_id_++;
+  // A deadline at or before the advance cursor would hash into a bucket
+  // the cursor already passed and sleep out a whole rotation; park it in
+  // the bucket the next advance() walks first instead.
+  const std::size_t slot = slot_of(std::max(deadline_ns, last_advance_ns_));
+  slots_[slot].push_back(Entry{id, deadline_ns, std::move(cb)});
+  slot_by_id_.emplace(id, slot);
+  ++live_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto it = slot_by_id_.find(id);
+  if (it == slot_by_id_.end()) return false;
+  auto& bucket = slots_[it->second];
+  for (auto e = bucket.begin(); e != bucket.end(); ++e) {
+    if (e->id == id) {
+      bucket.erase(e);
+      slot_by_id_.erase(it);
+      --live_;
+      return true;
+    }
+  }
+  return false;  // unreachable unless the map and buckets disagree
+}
+
+std::size_t TimerWheel::advance(std::uint64_t now_ns,
+                                std::vector<Callback>& out) {
+  if (live_ == 0) {
+    last_advance_ns_ = now_ns;
+    return 0;
+  }
+  // Walk the buckets the clock passed since the last advance; a gap of a
+  // full rotation (or first use) degenerates to one scan of every bucket.
+  const std::uint64_t from_tick = last_advance_ns_ / tick_ns_;
+  const std::uint64_t to_tick = now_ns / tick_ns_;
+  const std::uint64_t span = to_tick - from_tick + 1;
+  const std::size_t walk =
+      span >= kSlots ? kSlots : static_cast<std::size_t>(span);
+
+  std::vector<Entry> due;
+  for (std::size_t i = 0; i < walk; ++i) {
+    auto& bucket = slots_[(from_tick + i) & (kSlots - 1)];
+    for (std::size_t j = 0; j < bucket.size();) {
+      if (bucket[j].deadline_ns <= now_ns) {
+        slot_by_id_.erase(bucket[j].id);
+        due.push_back(std::move(bucket[j]));
+        bucket[j] = std::move(bucket.back());
+        bucket.pop_back();
+        --live_;
+      } else {
+        ++j;
+      }
+    }
+  }
+  last_advance_ns_ = now_ns;
+  // Buckets hold entries unordered; the contract is deadline order (ties:
+  // arming order, which ids encode).
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.deadline_ns != b.deadline_ns ? a.deadline_ns < b.deadline_ns
+                                          : a.id < b.id;
+  });
+  for (Entry& e : due) out.push_back(std::move(e.cb));
+  return due.size();
+}
+
+std::optional<std::uint64_t> TimerWheel::next_deadline_ns() const {
+  std::optional<std::uint64_t> best;
+  if (live_ == 0) return best;
+  for (const auto& bucket : slots_)
+    for (const Entry& e : bucket)
+      if (!best || e.deadline_ns < *best) best = e.deadline_ns;
+  return best;
+}
+
+}  // namespace fairshare::util

@@ -1,0 +1,78 @@
+// Hashed timer wheel: O(1) arm/cancel, batched expiry in deadline order.
+//
+// The reactor's event loop (net/event_loop.hpp) needs thousands of cheap
+// timers — one pacing tick per quantum, per-session handshake deadlines,
+// per-frame solo-pacing delays, and fault-injection delay releases — where
+// a std::priority_queue would pay O(log n) per arm and offer no cancel.
+// A hashed wheel hashes each absolute deadline into one of kSlots buckets
+// of one tick each; arming appends to a bucket, cancelling erases by id,
+// and advance() walks only the buckets the clock has passed.  Entries
+// whose deadline lies a full rotation (or more) ahead simply stay in
+// their bucket until the wheel comes round again.
+//
+// Single-threaded by design: the owning event loop is the only caller.
+// Cross-thread arming goes through EventLoop::post.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace fairshare::util {
+
+/// Timer container over an abstract monotonic nanosecond clock (callers
+/// pass `now`; the wheel never reads a clock itself, so tests drive it
+/// deterministically).
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+  using TimerId = std::uint64_t;  ///< 0 is never a valid id
+
+  /// `tick_ns` is the bucket granularity (default 1 ms): expiries are
+  /// precise to the deadline (advance compares exact deadlines), the tick
+  /// only bounds how much bucket-walking one advance() does.
+  explicit TimerWheel(std::uint64_t tick_ns = 1'000'000);
+
+  /// Arm a one-shot timer at absolute `deadline_ns`.  Returns its id.
+  TimerId add(std::uint64_t deadline_ns, Callback cb);
+
+  /// Disarm; false if the id already fired, was cancelled, or never was.
+  bool cancel(TimerId id);
+
+  /// Pop every entry with deadline <= now_ns into `out`, ordered by
+  /// (deadline, arming order), and return how many expired.  Callbacks are
+  /// NOT run here — the caller runs them after, so an expiring callback
+  /// may freely add() or cancel() without re-entering the wheel.
+  std::size_t advance(std::uint64_t now_ns, std::vector<Callback>& out);
+
+  /// Earliest pending deadline, or nullopt when empty.  O(size).
+  std::optional<std::uint64_t> next_deadline_ns() const;
+
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+ private:
+  static constexpr std::size_t kSlots = 256;  // power of two
+
+  struct Entry {
+    TimerId id = 0;
+    std::uint64_t deadline_ns = 0;
+    Callback cb;
+  };
+
+  std::size_t slot_of(std::uint64_t deadline_ns) const {
+    return static_cast<std::size_t>(deadline_ns / tick_ns_) & (kSlots - 1);
+  }
+
+  std::uint64_t tick_ns_;
+  std::vector<std::vector<Entry>> slots_{kSlots};
+  std::unordered_map<TimerId, std::size_t> slot_by_id_;
+  TimerId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t last_advance_ns_ = 0;
+};
+
+}  // namespace fairshare::util

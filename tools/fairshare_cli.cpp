@@ -9,9 +9,10 @@
 //   fairshare_cli caps    (alias: version)
 //   fairshare_cli stats   <stats.json> [--pid <pid>]
 //
-// caps prints the build version, detected CPU features, and the row-kernel
-// variant each field dispatched to, so perf reports are attributable to a
-// code path.
+// caps prints the build version, detected CPU features, the row-kernel
+// variant each field dispatched to, and the net serving backend a
+// PeerServer would pick here (epoll availability included), so perf
+// reports are attributable to a code path.
 //
 // stats pretty-prints a registry dump written by the obs JSON exporter
 // (e.g. PeerServer::Config::stats_json_path).  With --pid it first sends
@@ -44,6 +45,8 @@
 #include "coding/encoder.hpp"
 #include "crypto/sha256.hpp"
 #include "gf/row_ops.hpp"
+#include "net/event_loop.hpp"
+#include "net/peer_server.hpp"
 #include "p2p/wire.hpp"
 
 #ifndef FAIRSHARE_VERSION
@@ -458,6 +461,10 @@ int cmd_caps() {
   for (const gf::FieldId id : gf::kAllFields)
     std::printf("  %-9s -> %s\n", std::string(gf::field_name(id)).c_str(),
                 gf::field_view(id).kernel);
+  std::printf("epoll          : %s\n",
+              net::epoll_available() ? "available" : "unavailable");
+  std::printf("net backend    : %s (FAIRSHARE_NET_BACKEND overrides)\n",
+              net::to_string(net::default_net_backend()));
   return 0;
 }
 
