@@ -23,6 +23,10 @@
 #include "crypto/sha256.hpp"
 #include "gf/row_ops.hpp"
 #include "linalg/matrix.hpp"
+#include "net/peer_server.hpp"
+#include "net/socket.hpp"
+#include "p2p/store.hpp"
+#include "p2p/wire.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -108,6 +112,74 @@ BENCHMARK(BM_DecodePipeline)
     ->ArgNames({"field", "m"})
     ->Unit(benchmark::kMillisecond);
 
+// End-to-end serve pipeline, the twin of BM_DecodePipeline on the other
+// side of the wire: a client drains one whole stored file from a running
+// PeerServer over loopback TCP per iteration.  The backend axis compares
+// the epoll reactor's zero-copy scatter-gather path (backend=1: 21
+// framing bytes staged, payloads referenced in the MessageStore and
+// gathered by sendmsg) against the blocking threads path (backend=0,
+// which encodes and copies every frame).  Unpaced and unauthenticated, so
+// the number measures the serve path itself.
+void BM_ServePipeline(benchmark::State& state) {
+  const bool epoll = state.range(0) != 0;
+  constexpr std::size_t kMessages = 256;
+  constexpr std::size_t kPayload = 4096;
+  sim::SplitMix64 rng(9);
+  p2p::MessageStore store;
+  std::size_t stream_bytes = 0;
+  for (std::size_t i = 0; i < kMessages; ++i) {
+    coding::EncodedMessage m;
+    m.file_id = 1;
+    m.message_id = i;
+    m.payload.resize(kPayload);
+    for (auto& b : m.payload)
+      b = std::byte{static_cast<std::uint8_t>(rng.next())};
+    stream_bytes += p2p::wire::kCodedMessageHeaderBytes + m.payload.size();
+    store.store(std::move(m));
+  }
+  net::PeerServer::Config config;
+  config.require_auth = false;
+  config.backend =
+      epoll ? net::NetBackend::epoll : net::NetBackend::threads;
+  net::PeerServer server(config, std::move(store));
+  if (!server.start()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto client = net::Socket::connect_to("127.0.0.1", server.port());
+    if (!client) {
+      state.SkipWithError("connect failed");
+      break;
+    }
+    p2p::wire::FileRequest request;
+    request.user_id = 7;
+    request.file_id = 1;
+    if (!net::send_frame(*client, p2p::wire::encode(request))) {
+      state.SkipWithError("request failed");
+      break;
+    }
+    client->set_recv_timeout(5000);
+    std::size_t frames = 0;
+    while (auto frame = net::recv_frame(*client, 1u << 20)) {
+      benchmark::DoNotOptimize(frame->data());
+      ++frames;
+    }
+    if (frames != kMessages) {
+      state.SkipWithError("short stream");
+      break;
+    }
+  }
+  state.SetLabel(net::to_string(server.backend()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream_bytes));
+  server.stop();
+}
+BENCHMARK(BM_ServePipeline)
+    ->ArgsProduct({{0, 1}})
+    ->ArgNames({"backend"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ScalarMul(benchmark::State& state) {
   const auto field = static_cast<gf::FieldId>(state.range(0));
   const auto& f = gf::field_view(field);
@@ -179,4 +251,19 @@ BENCHMARK(BM_ChaCha20Stream);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The library_build_type the benchmark library self-reports describes
+  // how *libbenchmark* was compiled (Debian ships a debug one), not this
+  // binary; record our own optimisation state so tools/bench_to_json.py
+  // can refuse to bless a debug-build baseline.
+#ifdef __OPTIMIZE__
+  benchmark::AddCustomContext("fairshare_build_type", "release");
+#else
+  benchmark::AddCustomContext("fairshare_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

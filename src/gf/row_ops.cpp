@@ -172,6 +172,11 @@ template <unsigned Bits>
 void wide_scale(std::byte* row, std::uint64_t c, std::size_t n) {
   using Elem = typename GF<Bits>::Elem;
   if (c == 1) return;
+  if (c == 0) {
+    // Annihilation; no table needed (row elimination to zero).
+    std::memset(row, 0, n * sizeof(Elem));
+    return;
+  }
   const WindowTables<Bits> tab(static_cast<Elem>(c));
   for (std::size_t i = 0; i < n; ++i) {
     Elem x;
@@ -208,6 +213,9 @@ CpuFeatures cpu_features() {
     CpuFeatures f;
     f.ssse3 = __builtin_cpu_supports("ssse3") != 0;
     f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.gfni = __builtin_cpu_supports("gfni") != 0;
+    f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+    f.avx512bw = __builtin_cpu_supports("avx512bw") != 0;
     return f;
   }();
   return feat;
@@ -215,6 +223,38 @@ CpuFeatures cpu_features() {
   return {};
 #endif
 }
+
+const char* kernel_tier_cap() {
+  static const char* cap = []() -> const char* {
+    const char* v = std::getenv("FAIRSHARE_KERNEL_CAP");
+    if (v == nullptr || v[0] == '\0') return nullptr;
+    for (const char* known : {"avx2", "ssse3", "window64"})
+      if (std::strcmp(v, known) == 0) return known;
+    return nullptr;
+  }();
+  return cap;
+}
+
+namespace {
+
+// Features visible to dispatch: the raw detection masked by the tier cap.
+// The cap only ever removes capabilities, so a capped run is always a
+// configuration some real host has — the same dispatch code paths, not a
+// synthetic mode.
+CpuFeatures dispatch_features() {
+  CpuFeatures f = cpu_features();
+  const char* cap = kernel_tier_cap();
+  if (cap == nullptr) return f;
+  // Every named cap disables the AVX-512/GFNI tier.
+  f.gfni = f.avx512f = f.avx512bw = false;
+  if (std::strcmp(cap, "avx2") == 0) return f;
+  f.avx2 = false;
+  if (std::strcmp(cap, "ssse3") == 0) return f;
+  f.ssse3 = false;  // "window64": wide fields keep it, narrow go scalar
+  return f;
+}
+
+}  // namespace
 
 bool scalar_kernels_forced() {
 #ifdef FAIRSHARE_FORCE_SCALAR_KERNELS
@@ -253,7 +293,7 @@ const FieldView& field_view(FieldId id) {
         scalar_field_view(FieldId::gf2_16),
         scalar_field_view(FieldId::gf2_32)};
     if (scalar_kernels_forced()) return v;
-    const CpuFeatures feat = cpu_features();
+    const CpuFeatures feat = dispatch_features();
     for (auto& fv : v) {
       const detail::RowKernels k = detail::accelerated_row_kernels(fv.id, feat);
       if (k.axpy != nullptr) {

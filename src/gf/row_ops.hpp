@@ -19,14 +19,18 @@
 //   * GF(2^4)/GF(2^8): SSSE3/AVX2 split-nibble shuffle kernels (two
 //     16-entry pshufb tables per scalar, 16/32 bytes per step) on x86,
 //     falling back to premultiplied byte tables (one lookup+xor/byte);
-//   * GF(2^16)/GF(2^32): per-scalar window tables (2 resp. 4 tables of 256
-//     entries, built once per (scalar, row) pair and amortized over the
-//     m >= 8192 symbols of a message), consumed 64 bits per load on
-//     little-endian hosts and symbol-at-a-time otherwise.
+//   * GF(2^16)/GF(2^32): best of, in order — GFNI/AVX-512 per-byte-plane
+//     affine kernels ("gfni512"), AVX2 split-table pshufb kernels on
+//     deinterleaved byte planes ("avx2"), per-scalar window tables consumed
+//     64 bits per load on little-endian hosts ("window64"), and the
+//     symbol-at-a-time scalar window path everywhere else.
 // Setting the FAIRSHARE_FORCE_SCALAR_KERNELS environment variable (or the
 // CMake option of the same name) pins every field to the portable scalar
 // path; `scalar_field_view()` exposes that path unconditionally so tests
-// and benchmarks can compare the two in one process.
+// and benchmarks can compare the two in one process.  Setting
+// FAIRSHARE_KERNEL_CAP to a tier name ("avx2", "ssse3", "window64")
+// disables every tier above it, so the differential suite can exercise
+// lower tiers on hosts whose dispatch would otherwise shadow them.
 #pragma once
 
 #include <cstddef>
@@ -66,8 +70,8 @@ struct FieldView {
   void (*scale)(std::byte* row, std::uint64_t c, std::size_t n);
 
   /// Name of the row-kernel variant axpy/scale dispatched to: "scalar",
-  /// "ssse3", "avx2", or "window64".  Diagnostic only — perf reports use it
-  /// to attribute numbers to a code path.
+  /// "ssse3", "avx2", "window64", or "gfni512".  Diagnostic only — perf
+  /// reports use it to attribute numbers to a code path.
   const char* kernel;
 };
 
@@ -76,10 +80,21 @@ struct FieldView {
 struct CpuFeatures {
   bool ssse3 = false;
   bool avx2 = false;
+  bool gfni = false;
+  bool avx512f = false;
+  bool avx512bw = false;
 };
 
 /// Detected features of the host CPU (cached after the first call).
+/// Reports the raw hardware; the FAIRSHARE_KERNEL_CAP tier cap is applied
+/// separately during dispatch (see kernel_tier_cap()).
 CpuFeatures cpu_features();
+
+/// The FAIRSHARE_KERNEL_CAP environment value ("avx2", "ssse3",
+/// "window64") read once at first use, or nullptr when unset.  Dispatch
+/// treats every tier above the cap as unsupported; unknown values behave
+/// as unset.  Diagnostic surface for `fairshare_cli caps` and tests.
+const char* kernel_tier_cap();
 
 /// True when kernel dispatch is pinned to the portable scalar path, either
 /// by compiling with -DFAIRSHARE_FORCE_SCALAR_KERNELS=ON or by setting the

@@ -8,11 +8,27 @@
 //     into 16 (SSSE3) or 32 (AVX2) byte-products per instruction pair.
 //     GF(2^4) packs two symbols per byte and needs only one 16-entry table,
 //     applied to each nibble lane.
-//   * GF(2^16)/GF(2^32): the same per-scalar window tables as the scalar
-//     path, but consumed through unrolled 64-bit loads (4 resp. 2 symbols
-//     per load) instead of one memcpy per symbol.  Little-endian only; the
-//     lane order of a u64 must match symbol order for the byte-extraction
-//     shifts to index the right window.
+//   * GF(2^16)/GF(2^32): three tiers.
+//       - "gfni512": multiplication by a constant is GF(2)-linear, so each
+//         (input byte k -> output byte o) block of the map is an 8x8 bit
+//         matrix applied with gf2p8affineqb.  Symbols are shuffled into
+//         byte planes per 128-bit lane (pshufb + unpacks), each plane gets
+//         kBytes affine transforms, and the inverse unpacks restore symbol
+//         order.  Needs GFNI+AVX512F+AVX512BW; near-zero per-call setup.
+//       - "avx2": the GF-Complete split-table scheme widened to 16/32-bit
+//         symbols: the same byte-plane transpose, then 4-bit-indexed
+//         pshufb sub-tables (NibbleTables) per (nibble j, output byte o)
+//         pair — 8 resp. 32 pshufbs per 32 symbols.
+//       - "window64": the same per-scalar window tables as the scalar
+//         path, but consumed through unrolled 64-bit loads (4 resp. 2
+//         symbols per load) instead of one memcpy per symbol.  Little-
+//         endian only; the lane order of a u64 must match symbol order for
+//         the byte-extraction shifts to index the right window.
+//     The byte-plane transpose permutes symbols within a block, which is
+//     harmless: products are per-symbol independent and the reinterleave
+//     applies the exact inverse permutation.  Tails fall back to exact
+//     per-symbol products — any correct GF(2^w) multiply is bit-identical,
+//     so vector body and tail may use different table shapes.
 //
 // Every kernel here is bit-identical to its scalar counterpart, including
 // the multiplied padding nibble of an odd-length GF(2^4) row — the
@@ -343,6 +359,497 @@ void gf8_scale_avx2(std::byte* row, std::uint64_t c, std::size_t n) {
         gf8_byte_product(lo8, hi8, std::to_integer<std::uint8_t>(row[i]))};
 }
 
+// ------------------------------- GF(2^16)/GF(2^32) AVX2 split-table
+
+// Both wide AVX2 kernels share one structure: shuffle 16/32-bit little-
+// endian symbols into byte planes (one register per output-byte position),
+// look up products a nibble at a time with 16-entry pshufb sub-tables, and
+// apply the inverse unpack network to restore symbol order.  Per 128-bit
+// lane the unpack semantics are identical, so the same network works for
+// 256-bit registers; the symbol permutation it introduces cancels out.
+
+FAIRSHARE_TARGET("avx2")
+void gf16_axpy_avx2(std::byte* dst, const std::byte* src, std::uint64_t c,
+                    std::size_t n) {
+  if (c == 0) return;
+  const std::size_t nb = n * 2;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 32 <= nb; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, s));
+    }
+    for (; i < nb; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const NibbleTables<16> nt(static_cast<std::uint16_t>(c));
+  __m256i T[4][2];
+  for (int j = 0; j < 4; ++j)
+    for (int o = 0; o < 2; ++o)
+      T[j][o] = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(nt.t[j][o])));
+  const __m256i deint = _mm256_broadcastsi128_si256(
+      _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15));
+  const __m256i maskf = _mm256_set1_epi8(0x0F);
+  for (; i + 64 <= nb; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i t0 = _mm256_shuffle_epi8(v0, deint);
+    const __m256i t1 = _mm256_shuffle_epi8(v1, deint);
+    const __m256i lo = _mm256_unpacklo_epi64(t0, t1);
+    const __m256i hi = _mm256_unpackhi_epi64(t0, t1);
+    const __m256i ll = _mm256_and_si256(lo, maskf);
+    const __m256i lh = _mm256_and_si256(_mm256_srli_epi64(lo, 4), maskf);
+    const __m256i hl = _mm256_and_si256(hi, maskf);
+    const __m256i hh = _mm256_and_si256(_mm256_srli_epi64(hi, 4), maskf);
+    __m256i p0 = _mm256_xor_si256(_mm256_shuffle_epi8(T[0][0], ll),
+                                  _mm256_shuffle_epi8(T[1][0], lh));
+    p0 = _mm256_xor_si256(p0, _mm256_shuffle_epi8(T[2][0], hl));
+    p0 = _mm256_xor_si256(p0, _mm256_shuffle_epi8(T[3][0], hh));
+    __m256i p1 = _mm256_xor_si256(_mm256_shuffle_epi8(T[0][1], ll),
+                                  _mm256_shuffle_epi8(T[1][1], lh));
+    p1 = _mm256_xor_si256(p1, _mm256_shuffle_epi8(T[2][1], hl));
+    p1 = _mm256_xor_si256(p1, _mm256_shuffle_epi8(T[3][1], hh));
+    const __m256i r0 = _mm256_unpacklo_epi8(p0, p1);
+    const __m256i r1 = _mm256_unpackhi_epi8(p0, p1);
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d0, r0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, r1));
+  }
+  for (; i < nb; i += 2) {
+    std::uint16_t x, y;
+    std::memcpy(&x, src + i, 2);
+    std::memcpy(&y, dst + i, 2);
+    y = static_cast<std::uint16_t>(y ^ nt.mul(x));
+    std::memcpy(dst + i, &y, 2);
+  }
+}
+
+FAIRSHARE_TARGET("avx2")
+void gf16_scale_avx2(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  if (c == 0) {
+    std::memset(row, 0, n * 2);
+    return;
+  }
+  const NibbleTables<16> nt(static_cast<std::uint16_t>(c));
+  __m256i T[4][2];
+  for (int j = 0; j < 4; ++j)
+    for (int o = 0; o < 2; ++o)
+      T[j][o] = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(nt.t[j][o])));
+  const __m256i deint = _mm256_broadcastsi128_si256(
+      _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15));
+  const __m256i maskf = _mm256_set1_epi8(0x0F);
+  const std::size_t nb = n * 2;
+  std::size_t i = 0;
+  for (; i + 64 <= nb; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i + 32));
+    const __m256i t0 = _mm256_shuffle_epi8(v0, deint);
+    const __m256i t1 = _mm256_shuffle_epi8(v1, deint);
+    const __m256i lo = _mm256_unpacklo_epi64(t0, t1);
+    const __m256i hi = _mm256_unpackhi_epi64(t0, t1);
+    const __m256i ll = _mm256_and_si256(lo, maskf);
+    const __m256i lh = _mm256_and_si256(_mm256_srli_epi64(lo, 4), maskf);
+    const __m256i hl = _mm256_and_si256(hi, maskf);
+    const __m256i hh = _mm256_and_si256(_mm256_srli_epi64(hi, 4), maskf);
+    __m256i p0 = _mm256_xor_si256(_mm256_shuffle_epi8(T[0][0], ll),
+                                  _mm256_shuffle_epi8(T[1][0], lh));
+    p0 = _mm256_xor_si256(p0, _mm256_shuffle_epi8(T[2][0], hl));
+    p0 = _mm256_xor_si256(p0, _mm256_shuffle_epi8(T[3][0], hh));
+    __m256i p1 = _mm256_xor_si256(_mm256_shuffle_epi8(T[0][1], ll),
+                                  _mm256_shuffle_epi8(T[1][1], lh));
+    p1 = _mm256_xor_si256(p1, _mm256_shuffle_epi8(T[2][1], hl));
+    p1 = _mm256_xor_si256(p1, _mm256_shuffle_epi8(T[3][1], hh));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i),
+                        _mm256_unpacklo_epi8(p0, p1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i + 32),
+                        _mm256_unpackhi_epi8(p0, p1));
+  }
+  for (; i < nb; i += 2) {
+    std::uint16_t x;
+    std::memcpy(&x, row + i, 2);
+    x = nt.mul(x);
+    std::memcpy(row + i, &x, 2);
+  }
+}
+
+FAIRSHARE_TARGET("avx2")
+void gf32_axpy_avx2(std::byte* dst, const std::byte* src, std::uint64_t c,
+                    std::size_t n) {
+  if (c == 0) return;
+  const std::size_t nb = n * 4;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 32 <= nb; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, s));
+    }
+    for (; i < nb; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const NibbleTables<32> nt(static_cast<std::uint32_t>(c));
+  __m256i T[8][4];
+  for (int j = 0; j < 8; ++j)
+    for (int o = 0; o < 4; ++o)
+      T[j][o] = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(nt.t[j][o])));
+  const __m256i deint = _mm256_broadcastsi128_si256(
+      _mm_setr_epi8(0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15));
+  const __m256i maskf = _mm256_set1_epi8(0x0F);
+  for (; i + 128 <= nb; i += 128) {
+    __m256i t[4];
+    for (int r = 0; r < 4; ++r)
+      t[r] = _mm256_shuffle_epi8(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                     src + i + 32 * static_cast<std::size_t>(r))),
+                                 deint);
+    const __m256i u0 = _mm256_unpacklo_epi32(t[0], t[1]);
+    const __m256i u1 = _mm256_unpackhi_epi32(t[0], t[1]);
+    const __m256i u2 = _mm256_unpacklo_epi32(t[2], t[3]);
+    const __m256i u3 = _mm256_unpackhi_epi32(t[2], t[3]);
+    const __m256i pl[4] = {_mm256_unpacklo_epi64(u0, u2),
+                           _mm256_unpackhi_epi64(u0, u2),
+                           _mm256_unpacklo_epi64(u1, u3),
+                           _mm256_unpackhi_epi64(u1, u3)};
+    __m256i q[4];
+    for (int o = 0; o < 4; ++o) {
+      __m256i acc = _mm256_setzero_si256();
+      for (int k = 0; k < 4; ++k) {
+        const __m256i lo = _mm256_and_si256(pl[k], maskf);
+        const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(pl[k], 4), maskf);
+        acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(T[2 * k][o], lo));
+        acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(T[2 * k + 1][o], hi));
+      }
+      q[o] = acc;
+    }
+    const __m256i w0 = _mm256_unpacklo_epi8(q[0], q[1]);
+    const __m256i w1 = _mm256_unpacklo_epi8(q[2], q[3]);
+    const __m256i w2 = _mm256_unpackhi_epi8(q[0], q[1]);
+    const __m256i w3 = _mm256_unpackhi_epi8(q[2], q[3]);
+    const __m256i z[4] = {_mm256_unpacklo_epi16(w0, w1),
+                          _mm256_unpackhi_epi16(w0, w1),
+                          _mm256_unpacklo_epi16(w2, w3),
+                          _mm256_unpackhi_epi16(w2, w3)};
+    for (int r = 0; r < 4; ++r) {
+      std::byte* p = dst + i + 32 * static_cast<std::size_t>(r);
+      const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p),
+                          _mm256_xor_si256(d, z[r]));
+    }
+  }
+  for (; i < nb; i += 4) {
+    std::uint32_t x, y;
+    std::memcpy(&x, src + i, 4);
+    std::memcpy(&y, dst + i, 4);
+    y ^= nt.mul(x);
+    std::memcpy(dst + i, &y, 4);
+  }
+}
+
+FAIRSHARE_TARGET("avx2")
+void gf32_scale_avx2(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  if (c == 0) {
+    std::memset(row, 0, n * 4);
+    return;
+  }
+  const NibbleTables<32> nt(static_cast<std::uint32_t>(c));
+  __m256i T[8][4];
+  for (int j = 0; j < 8; ++j)
+    for (int o = 0; o < 4; ++o)
+      T[j][o] = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(nt.t[j][o])));
+  const __m256i deint = _mm256_broadcastsi128_si256(
+      _mm_setr_epi8(0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15));
+  const __m256i maskf = _mm256_set1_epi8(0x0F);
+  const std::size_t nb = n * 4;
+  std::size_t i = 0;
+  for (; i + 128 <= nb; i += 128) {
+    __m256i t[4];
+    for (int r = 0; r < 4; ++r)
+      t[r] = _mm256_shuffle_epi8(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                     row + i + 32 * static_cast<std::size_t>(r))),
+                                 deint);
+    const __m256i u0 = _mm256_unpacklo_epi32(t[0], t[1]);
+    const __m256i u1 = _mm256_unpackhi_epi32(t[0], t[1]);
+    const __m256i u2 = _mm256_unpacklo_epi32(t[2], t[3]);
+    const __m256i u3 = _mm256_unpackhi_epi32(t[2], t[3]);
+    const __m256i pl[4] = {_mm256_unpacklo_epi64(u0, u2),
+                           _mm256_unpackhi_epi64(u0, u2),
+                           _mm256_unpacklo_epi64(u1, u3),
+                           _mm256_unpackhi_epi64(u1, u3)};
+    __m256i q[4];
+    for (int o = 0; o < 4; ++o) {
+      __m256i acc = _mm256_setzero_si256();
+      for (int k = 0; k < 4; ++k) {
+        const __m256i lo = _mm256_and_si256(pl[k], maskf);
+        const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(pl[k], 4), maskf);
+        acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(T[2 * k][o], lo));
+        acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(T[2 * k + 1][o], hi));
+      }
+      q[o] = acc;
+    }
+    const __m256i w0 = _mm256_unpacklo_epi8(q[0], q[1]);
+    const __m256i w1 = _mm256_unpacklo_epi8(q[2], q[3]);
+    const __m256i w2 = _mm256_unpackhi_epi8(q[0], q[1]);
+    const __m256i w3 = _mm256_unpackhi_epi8(q[2], q[3]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i),
+                        _mm256_unpacklo_epi16(w0, w1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i + 32),
+                        _mm256_unpackhi_epi16(w0, w1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i + 64),
+                        _mm256_unpacklo_epi16(w2, w3));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i + 96),
+                        _mm256_unpackhi_epi16(w2, w3));
+  }
+  for (; i < nb; i += 4) {
+    std::uint32_t x;
+    std::memcpy(&x, row + i, 4);
+    x = nt.mul(x);
+    std::memcpy(row + i, &x, 4);
+  }
+}
+
+// ----------------------------- GF(2^16)/GF(2^32) GFNI + AVX-512
+
+// Same byte-plane transpose as the AVX2 tier (identical per 128-bit lane,
+// four lanes per zmm), but each plane's contribution to an output byte is
+// a single gf2p8affineqb with the 8x8 bit-block of the multiply-by-c
+// matrix — no table memory, near-zero setup.  Tails use the exact scalar
+// product from GF<Bits>::mul.
+
+FAIRSHARE_TARGET("gfni,avx512f,avx512bw")
+void gf16_axpy_gfni512(std::byte* dst, const std::byte* src, std::uint64_t c,
+                       std::size_t n) {
+  if (c == 0) return;
+  const std::size_t nb = n * 2;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 64 <= nb; i += 64) {
+      const __m512i s = _mm512_loadu_si512(src + i);
+      const __m512i d = _mm512_loadu_si512(dst + i);
+      _mm512_storeu_si512(dst + i, _mm512_xor_si512(d, s));
+    }
+    for (; i < nb; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const GfniMatrices<16> gm(static_cast<std::uint16_t>(c));
+  const __m512i m00 = _mm512_set1_epi64(static_cast<long long>(gm.m[0][0]));
+  const __m512i m01 = _mm512_set1_epi64(static_cast<long long>(gm.m[0][1]));
+  const __m512i m10 = _mm512_set1_epi64(static_cast<long long>(gm.m[1][0]));
+  const __m512i m11 = _mm512_set1_epi64(static_cast<long long>(gm.m[1][1]));
+  const __m512i deint = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15));
+  for (; i + 128 <= nb; i += 128) {
+    const __m512i v0 = _mm512_loadu_si512(src + i);
+    const __m512i v1 = _mm512_loadu_si512(src + i + 64);
+    const __m512i t0 = _mm512_shuffle_epi8(v0, deint);
+    const __m512i t1 = _mm512_shuffle_epi8(v1, deint);
+    const __m512i lo = _mm512_unpacklo_epi64(t0, t1);
+    const __m512i hi = _mm512_unpackhi_epi64(t0, t1);
+    const __m512i p0 =
+        _mm512_xor_si512(_mm512_gf2p8affine_epi64_epi8(lo, m00, 0),
+                         _mm512_gf2p8affine_epi64_epi8(hi, m01, 0));
+    const __m512i p1 =
+        _mm512_xor_si512(_mm512_gf2p8affine_epi64_epi8(lo, m10, 0),
+                         _mm512_gf2p8affine_epi64_epi8(hi, m11, 0));
+    const __m512i r0 = _mm512_unpacklo_epi8(p0, p1);
+    const __m512i r1 = _mm512_unpackhi_epi8(p0, p1);
+    const __m512i d0 = _mm512_loadu_si512(dst + i);
+    const __m512i d1 = _mm512_loadu_si512(dst + i + 64);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(d0, r0));
+    _mm512_storeu_si512(dst + i + 64, _mm512_xor_si512(d1, r1));
+  }
+  for (; i < nb; i += 2) {
+    std::uint16_t x, y;
+    std::memcpy(&x, src + i, 2);
+    std::memcpy(&y, dst + i, 2);
+    y = static_cast<std::uint16_t>(
+        y ^ GF<16>::mul(static_cast<std::uint16_t>(c), x));
+    std::memcpy(dst + i, &y, 2);
+  }
+}
+
+FAIRSHARE_TARGET("gfni,avx512f,avx512bw")
+void gf16_scale_gfni512(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  if (c == 0) {
+    std::memset(row, 0, n * 2);
+    return;
+  }
+  const GfniMatrices<16> gm(static_cast<std::uint16_t>(c));
+  const __m512i m00 = _mm512_set1_epi64(static_cast<long long>(gm.m[0][0]));
+  const __m512i m01 = _mm512_set1_epi64(static_cast<long long>(gm.m[0][1]));
+  const __m512i m10 = _mm512_set1_epi64(static_cast<long long>(gm.m[1][0]));
+  const __m512i m11 = _mm512_set1_epi64(static_cast<long long>(gm.m[1][1]));
+  const __m512i deint = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15));
+  const std::size_t nb = n * 2;
+  std::size_t i = 0;
+  for (; i + 128 <= nb; i += 128) {
+    const __m512i v0 = _mm512_loadu_si512(row + i);
+    const __m512i v1 = _mm512_loadu_si512(row + i + 64);
+    const __m512i t0 = _mm512_shuffle_epi8(v0, deint);
+    const __m512i t1 = _mm512_shuffle_epi8(v1, deint);
+    const __m512i lo = _mm512_unpacklo_epi64(t0, t1);
+    const __m512i hi = _mm512_unpackhi_epi64(t0, t1);
+    const __m512i p0 =
+        _mm512_xor_si512(_mm512_gf2p8affine_epi64_epi8(lo, m00, 0),
+                         _mm512_gf2p8affine_epi64_epi8(hi, m01, 0));
+    const __m512i p1 =
+        _mm512_xor_si512(_mm512_gf2p8affine_epi64_epi8(lo, m10, 0),
+                         _mm512_gf2p8affine_epi64_epi8(hi, m11, 0));
+    _mm512_storeu_si512(row + i, _mm512_unpacklo_epi8(p0, p1));
+    _mm512_storeu_si512(row + i + 64, _mm512_unpackhi_epi8(p0, p1));
+  }
+  for (; i < nb; i += 2) {
+    std::uint16_t x;
+    std::memcpy(&x, row + i, 2);
+    x = GF<16>::mul(static_cast<std::uint16_t>(c), x);
+    std::memcpy(row + i, &x, 2);
+  }
+}
+
+FAIRSHARE_TARGET("gfni,avx512f,avx512bw")
+void gf32_axpy_gfni512(std::byte* dst, const std::byte* src, std::uint64_t c,
+                       std::size_t n) {
+  if (c == 0) return;
+  const std::size_t nb = n * 4;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 64 <= nb; i += 64) {
+      const __m512i s = _mm512_loadu_si512(src + i);
+      const __m512i d = _mm512_loadu_si512(dst + i);
+      _mm512_storeu_si512(dst + i, _mm512_xor_si512(d, s));
+    }
+    for (; i < nb; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const GfniMatrices<32> gm(static_cast<std::uint32_t>(c));
+  __m512i M[4][4];
+  for (int o = 0; o < 4; ++o)
+    for (int k = 0; k < 4; ++k)
+      M[o][k] = _mm512_set1_epi64(static_cast<long long>(gm.m[o][k]));
+  const __m512i deint = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15));
+  for (; i + 256 <= nb; i += 256) {
+    __m512i t[4];
+    for (int r = 0; r < 4; ++r)
+      t[r] = _mm512_shuffle_epi8(
+          _mm512_loadu_si512(src + i + 64 * static_cast<std::size_t>(r)),
+          deint);
+    const __m512i u0 = _mm512_unpacklo_epi32(t[0], t[1]);
+    const __m512i u1 = _mm512_unpackhi_epi32(t[0], t[1]);
+    const __m512i u2 = _mm512_unpacklo_epi32(t[2], t[3]);
+    const __m512i u3 = _mm512_unpackhi_epi32(t[2], t[3]);
+    const __m512i pl[4] = {_mm512_unpacklo_epi64(u0, u2),
+                           _mm512_unpackhi_epi64(u0, u2),
+                           _mm512_unpacklo_epi64(u1, u3),
+                           _mm512_unpackhi_epi64(u1, u3)};
+    __m512i q[4];
+    for (int o = 0; o < 4; ++o) {
+      __m512i acc = _mm512_gf2p8affine_epi64_epi8(pl[0], M[o][0], 0);
+      for (int k = 1; k < 4; ++k)
+        acc = _mm512_xor_si512(acc,
+                               _mm512_gf2p8affine_epi64_epi8(pl[k], M[o][k], 0));
+      q[o] = acc;
+    }
+    const __m512i w0 = _mm512_unpacklo_epi8(q[0], q[1]);
+    const __m512i w1 = _mm512_unpacklo_epi8(q[2], q[3]);
+    const __m512i w2 = _mm512_unpackhi_epi8(q[0], q[1]);
+    const __m512i w3 = _mm512_unpackhi_epi8(q[2], q[3]);
+    const __m512i z[4] = {_mm512_unpacklo_epi16(w0, w1),
+                          _mm512_unpackhi_epi16(w0, w1),
+                          _mm512_unpacklo_epi16(w2, w3),
+                          _mm512_unpackhi_epi16(w2, w3)};
+    for (int r = 0; r < 4; ++r) {
+      std::byte* p = dst + i + 64 * static_cast<std::size_t>(r);
+      const __m512i d = _mm512_loadu_si512(p);
+      _mm512_storeu_si512(p, _mm512_xor_si512(d, z[r]));
+    }
+  }
+  for (; i < nb; i += 4) {
+    std::uint32_t x, y;
+    std::memcpy(&x, src + i, 4);
+    std::memcpy(&y, dst + i, 4);
+    y ^= GF<32>::mul(static_cast<std::uint32_t>(c), x);
+    std::memcpy(dst + i, &y, 4);
+  }
+}
+
+FAIRSHARE_TARGET("gfni,avx512f,avx512bw")
+void gf32_scale_gfni512(std::byte* row, std::uint64_t c, std::size_t n) {
+  if (c == 1) return;
+  if (c == 0) {
+    std::memset(row, 0, n * 4);
+    return;
+  }
+  const GfniMatrices<32> gm(static_cast<std::uint32_t>(c));
+  __m512i M[4][4];
+  for (int o = 0; o < 4; ++o)
+    for (int k = 0; k < 4; ++k)
+      M[o][k] = _mm512_set1_epi64(static_cast<long long>(gm.m[o][k]));
+  const __m512i deint = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15));
+  const std::size_t nb = n * 4;
+  std::size_t i = 0;
+  for (; i + 256 <= nb; i += 256) {
+    __m512i t[4];
+    for (int r = 0; r < 4; ++r)
+      t[r] = _mm512_shuffle_epi8(
+          _mm512_loadu_si512(row + i + 64 * static_cast<std::size_t>(r)),
+          deint);
+    const __m512i u0 = _mm512_unpacklo_epi32(t[0], t[1]);
+    const __m512i u1 = _mm512_unpackhi_epi32(t[0], t[1]);
+    const __m512i u2 = _mm512_unpacklo_epi32(t[2], t[3]);
+    const __m512i u3 = _mm512_unpackhi_epi32(t[2], t[3]);
+    const __m512i pl[4] = {_mm512_unpacklo_epi64(u0, u2),
+                           _mm512_unpackhi_epi64(u0, u2),
+                           _mm512_unpacklo_epi64(u1, u3),
+                           _mm512_unpackhi_epi64(u1, u3)};
+    __m512i q[4];
+    for (int o = 0; o < 4; ++o) {
+      __m512i acc = _mm512_gf2p8affine_epi64_epi8(pl[0], M[o][0], 0);
+      for (int k = 1; k < 4; ++k)
+        acc = _mm512_xor_si512(acc,
+                               _mm512_gf2p8affine_epi64_epi8(pl[k], M[o][k], 0));
+      q[o] = acc;
+    }
+    const __m512i w0 = _mm512_unpacklo_epi8(q[0], q[1]);
+    const __m512i w1 = _mm512_unpacklo_epi8(q[2], q[3]);
+    const __m512i w2 = _mm512_unpackhi_epi8(q[0], q[1]);
+    const __m512i w3 = _mm512_unpackhi_epi8(q[2], q[3]);
+    _mm512_storeu_si512(row + i, _mm512_unpacklo_epi16(w0, w1));
+    _mm512_storeu_si512(row + i + 64, _mm512_unpackhi_epi16(w0, w1));
+    _mm512_storeu_si512(row + i + 128, _mm512_unpacklo_epi16(w2, w3));
+    _mm512_storeu_si512(row + i + 192, _mm512_unpackhi_epi16(w2, w3));
+  }
+  for (; i < nb; i += 4) {
+    std::uint32_t x;
+    std::memcpy(&x, row + i, 4);
+    x = GF<32>::mul(static_cast<std::uint32_t>(c), x);
+    std::memcpy(row + i, &x, 4);
+  }
+}
+
 #undef FAIRSHARE_TARGET
 
 #endif  // FAIRSHARE_HAVE_X86_KERNELS
@@ -359,7 +866,17 @@ void wide_axpy_win64(std::byte* dst, const std::byte* src, std::uint64_t c,
   using Elem = typename GF<Bits>::Elem;
   if (c == 0) return;
   if (c == 1) {
-    for (std::size_t i = 0; i < n * sizeof(Elem); ++i) dst[i] ^= src[i];
+    // Unit pivot: pure xor, widened to word width like the product loop.
+    const std::size_t total = n * sizeof(Elem);
+    std::size_t i = 0;
+    for (; i + 8 <= total; i += 8) {
+      std::uint64_t x, y;
+      std::memcpy(&x, src + i, 8);
+      std::memcpy(&y, dst + i, 8);
+      y ^= x;
+      std::memcpy(dst + i, &y, 8);
+    }
+    for (; i < total; ++i) dst[i] ^= src[i];
     return;
   }
   const WindowTables<Bits> tab(static_cast<Elem>(c));
@@ -410,6 +927,10 @@ template <unsigned Bits>
 void wide_scale_win64(std::byte* row, std::uint64_t c, std::size_t n) {
   using Elem = typename GF<Bits>::Elem;
   if (c == 1) return;
+  if (c == 0) {
+    std::memset(row, 0, n * sizeof(Elem));
+    return;
+  }
   const WindowTables<Bits> tab(static_cast<Elem>(c));
   constexpr std::size_t kSyms = 64 / Bits;
   const std::size_t words = n / kSyms;
@@ -467,10 +988,20 @@ RowKernels accelerated_row_kernels(FieldId id, const CpuFeatures& feat) {
 #endif
       break;
     case FieldId::gf2_16:
+#if FAIRSHARE_HAVE_X86_KERNELS
+      if (feat.gfni && feat.avx512f && feat.avx512bw)
+        return {&gf16_axpy_gfni512, &gf16_scale_gfni512, "gfni512"};
+      if (feat.avx2) return {&gf16_axpy_avx2, &gf16_scale_avx2, "avx2"};
+#endif
       if constexpr (std::endian::native == std::endian::little)
         return {&wide_axpy_win64<16>, &wide_scale_win64<16>, "window64"};
       break;
     case FieldId::gf2_32:
+#if FAIRSHARE_HAVE_X86_KERNELS
+      if (feat.gfni && feat.avx512f && feat.avx512bw)
+        return {&gf32_axpy_gfni512, &gf32_scale_gfni512, "gfni512"};
+      if (feat.avx2) return {&gf32_axpy_avx2, &gf32_scale_avx2, "avx2"};
+#endif
       if constexpr (std::endian::native == std::endian::little)
         return {&wide_axpy_win64<32>, &wide_scale_win64<32>, "window64"};
       break;

@@ -195,6 +195,17 @@ TryWrite FaultyTransport::try_write_frame(std::span<const std::byte> frame) {
   return result;
 }
 
+TryWrite FaultyTransport::try_write_frame_ext(std::span<const std::byte> head,
+                                              std::span<const std::byte> ext) {
+  // Rebuilt identically on every {blocked,false} retry, so the frame the
+  // drawn faults eventually apply to is the one the caller keeps offering.
+  ext_scratch_.clear();
+  ext_scratch_.reserve(head.size() + ext.size());
+  ext_scratch_.insert(ext_scratch_.end(), head.begin(), head.end());
+  ext_scratch_.insert(ext_scratch_.end(), ext.begin(), ext.end());
+  return try_write_frame(ext_scratch_);
+}
+
 TryWrite FaultyTransport::forward_write(std::span<const std::byte> frame,
                                         const Faults& faults) {
   if (faults.drop) return {IoStatus::ok, true};  // swallowed in transit

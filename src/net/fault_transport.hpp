@@ -126,6 +126,12 @@ class FaultyTransport final : public Transport {
       std::size_t max_len) override;
 
   TryWrite try_write_frame(std::span<const std::byte> frame) override;
+  /// Zero-copy callers fault identically to copying callers: the frame is
+  /// materialised as head ++ ext (corruption may need to mutate it, and
+  /// faults must not touch the caller's shared payload store) and pushed
+  /// through try_write_frame — one budget charge, one fault draw.
+  TryWrite try_write_frame_ext(std::span<const std::byte> head,
+                               std::span<const std::byte> ext) override;
   IoStatus try_flush() override;
   TryRead try_read_frame(std::size_t max_len) override;
   bool want_write() const override;
@@ -177,6 +183,7 @@ class FaultyTransport final : public Transport {
   // delayed frame is stashed whole with its drawn faults and released
   // once read_release_ passes.
   std::optional<Faults> pending_write_faults_;
+  std::vector<std::byte> ext_scratch_;  ///< head++ext image, capacity reused
   std::optional<std::chrono::steady_clock::time_point> write_release_;
   std::optional<std::vector<std::byte>> dup_out_frame_;
   std::optional<std::chrono::steady_clock::time_point> read_release_;

@@ -8,8 +8,11 @@
 //  * the listener(s) are non-blocking and SO_REUSEPORT-sharded across
 //    loops when Config::num_loops > 1;
 //  * outbound frames go through the non-blocking Transport seam
-//    (try_write_frame's accepted-at-most-once contract keeps pacing
-//    byte accounting exactly-once);
+//    (try_write_frame_ext's accepted-at-most-once contract keeps pacing
+//    byte accounting exactly-once); coded messages are sent zero-copy —
+//    21 framing bytes into an arena-recycled head buffer, the payload
+//    referenced in the immutable MessageStore and gathered onto the wire
+//    by sendmsg — so serving never copies a payload;
 //  * the Eq. (2) pacing tick is a periodic timer on loop 0 — the same
 //    pacing_tick_locked() the threads backend runs — which then posts a
 //    pump to every loop so sessions spend their fresh budgets;
@@ -32,6 +35,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -74,8 +78,13 @@ struct PeerServer::ReactorState {
     bool paced = false;
 
     // The single in-flight outbound frame not yet accepted by the
-    // transport (ctrl = challenge, unbudgeted; data = coded message).
-    std::vector<std::byte> staged;
+    // transport (ctrl = challenge, unbudgeted; data = coded message), as
+    // the head ++ ext pair of try_write_frame_ext: head is a small
+    // arena-recycled buffer (a whole ctrl frame, or the 21 framing bytes
+    // of a coded message) and ext references the payload inside the
+    // server's immutable MessageStore — no payload copy is ever made.
+    std::vector<std::byte> staged_head;
+    std::span<const std::byte> staged_ext;
     Staged staged_kind = Staged::none;
 
     EventLoop::TimerId handshake_timer = 0;
@@ -91,6 +100,24 @@ struct PeerServer::ReactorState {
     Listener listener;
     std::thread thread;
     std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions;
+
+    /// Arena of reusable send buffers (loop-thread-only): frame heads are
+    /// borrowed per encode and returned once the transport accepts them,
+    /// so a steady paced stream allocates nothing per message.
+    std::vector<std::vector<std::byte>> send_arena;
+    static constexpr std::size_t kArenaCap = 64;
+
+    std::vector<std::byte> arena_get() {
+      if (send_arena.empty()) return {};
+      auto buf = std::move(send_arena.back());
+      send_arena.pop_back();
+      buf.clear();
+      return buf;
+    }
+    void arena_put(std::vector<std::byte>&& buf) {
+      if (buf.capacity() > 0 && send_arena.size() < kArenaCap)
+        send_arena.push_back(std::move(buf));
+    }
   };
 
   /// Frames one pump may send before yielding, so hundreds of sessions
@@ -197,15 +224,18 @@ bool PeerServer::ReactorState::flush_staged(
   }
   if (s->staged_kind != Session::Staged::none &&
       !s->transport->want_write()) {
-    const TryWrite r = s->transport->try_write_frame(s->staged);
+    const TryWrite r =
+        s->transport->try_write_frame_ext(s->staged_head, s->staged_ext);
     if (r.status == IoStatus::closed || r.status == IoStatus::error) {
       finish(s, false);
       return false;
     }
     if (r.accepted) {
-      const std::size_t bytes = s->staged.size();
+      const std::size_t bytes = s->staged_head.size() + s->staged_ext.size();
       const bool was_data = s->staged_kind == Session::Staged::data;
-      s->staged.clear();
+      s->pl->arena_put(std::move(s->staged_head));
+      s->staged_head.clear();
+      s->staged_ext = {};
       s->staged_kind = Session::Staged::none;
       if (was_data) account_sent(s, bytes);
     } else if (const auto release = s->transport->retry_after()) {
@@ -261,13 +291,16 @@ bool PeerServer::ReactorState::handle_frame(
       s->have_authed_user = true;
       s->phase = Session::Phase::response;
       auto out = p2p::wire::encode(challenge);
-      const TryWrite r = s->transport->try_write_frame(out);
+      const TryWrite r = s->transport->try_write_frame_ext(out, {});
       if (r.status == IoStatus::closed || r.status == IoStatus::error) {
         finish(s, false);
         return false;
       }
-      if (!r.accepted) {
-        s->staged = std::move(out);
+      if (r.accepted) {
+        s->pl->arena_put(std::move(out));
+      } else {
+        s->staged_head = std::move(out);
+        s->staged_ext = {};
         s->staged_kind = Session::Staged::ctrl;
         if (const auto release = s->transport->retry_after())
           arm_retry(s, *release);
@@ -365,20 +398,29 @@ bool PeerServer::ReactorState::pump_stream(
     }
     const coding::EncodedMessage& msg =
         srv->store_.at(s->file_id, s->next_msg);
-    auto frame = p2p::wire::encode(msg);
-    const std::size_t bytes = frame.size();
-    const TryWrite r = s->transport->try_write_frame(frame);
+    // Zero-copy handoff: only the 21 framing bytes are encoded (into an
+    // arena-recycled buffer); the payload is referenced in place inside
+    // the immutable store, which outlives the session — exactly the
+    // lifetime try_write_frame_ext requires.
+    std::vector<std::byte> head = s->pl->arena_get();
+    const auto hdr = p2p::wire::encode_coded_message_header(msg);
+    head.assign(hdr.begin(), hdr.end());
+    const std::span<const std::byte> ext(msg.payload);
+    const std::size_t bytes = head.size() + ext.size();
+    const TryWrite r = s->transport->try_write_frame_ext(head, ext);
     if (r.status == IoStatus::closed || r.status == IoStatus::error) {
       finish(s, false);
       return false;
     }
     if (!r.accepted) {
-      s->staged = std::move(frame);
+      s->staged_head = std::move(head);
+      s->staged_ext = ext;
       s->staged_kind = Session::Staged::data;
       if (const auto release = s->transport->retry_after())
         arm_retry(s, *release);
       break;
     }
+    s->pl->arena_put(std::move(head));
     account_sent(s, bytes);
     if (++sent_this_pass >= kFramesPerPass) {
       auto self = s;
@@ -488,6 +530,7 @@ void PeerServer::ReactorState::finish(const std::shared_ptr<Session>& s,
     std::lock_guard<std::mutex> lock(srv->pacing_mutex_);
     srv->sessions_.erase(s->salt);
   }
+  s->pl->arena_put(std::move(s->staged_head));
   s->transport->close();
   s->span.reset();
   if (completed) {

@@ -182,6 +182,45 @@ IoStatus Socket::try_read_bytes(std::byte* out, std::size_t n,
   return IoStatus::ok;
 }
 
+IoStatus Socket::try_write_bytes_vec(const std::span<const std::byte>* bufs,
+                                     std::size_t nbufs, std::size_t& put) {
+  put = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < nbufs; ++i) total += bufs[i].size();
+  while (put < total) {
+    // Rebuild the iovec past what has already left; progress fills the
+    // buffers strictly in order, as the base try_flush assumes.
+    iovec iov[2];
+    std::size_t niov = 0;
+    std::size_t skip = put;
+    for (std::size_t i = 0; i < nbufs && niov < 2; ++i) {
+      if (skip >= bufs[i].size()) {
+        skip -= bufs[i].size();
+        continue;
+      }
+      iov[niov].iov_base =
+          const_cast<std::byte*>(bufs[i].data() + skip);
+      iov[niov].iov_len = bufs[i].size() - skip;
+      ++niov;
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t r = ::sendmsg(fd_, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (r > 0) {
+      put += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return put > 0 ? IoStatus::ok : IoStatus::blocked;
+    return errno == EPIPE || errno == ECONNRESET ? IoStatus::closed
+                                                 : IoStatus::error;
+  }
+  return IoStatus::ok;
+}
+
 IoStatus Socket::try_write_bytes(const std::byte* data, std::size_t n,
                                  std::size_t& put) {
   put = 0;

@@ -86,6 +86,10 @@ class Socket final : public Transport {
                           std::size_t& got) override;
   IoStatus try_write_bytes(const std::byte* data, std::size_t n,
                            std::size_t& put) override;
+  /// Scatter-gather send (sendmsg + MSG_DONTWAIT): a frame head and its
+  /// referenced payload leave in one syscall on the zero-copy serve path.
+  IoStatus try_write_bytes_vec(const std::span<const std::byte>* bufs,
+                               std::size_t nbufs, std::size_t& put) override;
 
  private:
   int fd_ = -1;

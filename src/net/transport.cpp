@@ -1,5 +1,6 @@
 #include "net/transport.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace fairshare::net {
@@ -60,6 +61,11 @@ IoStatus Transport::try_write_bytes(const std::byte* data, std::size_t n,
 }
 
 TryWrite Transport::try_write_frame(std::span<const std::byte> frame) {
+  return try_write_frame_ext(frame, {});
+}
+
+TryWrite Transport::try_write_frame_ext(std::span<const std::byte> head,
+                                        std::span<const std::byte> ext) {
   // Backpressure: a new frame is accepted only once the previous one has
   // fully drained, so staging stays bounded by one frame and the caller's
   // pacing budget counts each frame exactly once.
@@ -68,28 +74,54 @@ TryWrite Transport::try_write_frame(std::span<const std::byte> frame) {
     if (flushed == IoStatus::blocked) return {IoStatus::blocked, false};
     if (flushed != IoStatus::ok) return {flushed, false};
   }
-  out_buf_.resize(4 + frame.size());
+  out_buf_.resize(4 + head.size());
   out_off_ = 0;
-  const auto len = static_cast<std::uint32_t>(frame.size());
+  const auto len = static_cast<std::uint32_t>(head.size() + ext.size());
   for (int i = 0; i < 4; ++i)
     out_buf_[i] = std::byte{static_cast<std::uint8_t>(len >> (8 * i))};
-  if (!frame.empty())
-    std::memcpy(out_buf_.data() + 4, frame.data(), frame.size());
+  if (!head.empty())
+    std::memcpy(out_buf_.data() + 4, head.data(), head.size());
+  ext_ = ext;
+  ext_off_ = 0;
   const IoStatus flushed = try_flush();
   if (flushed == IoStatus::blocked) return {IoStatus::blocked, true};
   return {flushed, flushed == IoStatus::ok};
 }
 
+IoStatus Transport::try_write_bytes_vec(const std::span<const std::byte>* bufs,
+                                        std::size_t nbufs, std::size_t& put) {
+  put = 0;
+  for (std::size_t i = 0; i < nbufs; ++i) {
+    std::size_t p = 0;
+    const IoStatus st = try_write_bytes(bufs[i].data(), bufs[i].size(), p);
+    put += p;
+    if (st != IoStatus::ok || p < bufs[i].size()) return st;
+  }
+  return IoStatus::ok;
+}
+
 IoStatus Transport::try_flush() {
-  while (out_off_ < out_buf_.size()) {
+  while (out_off_ < out_buf_.size() || ext_off_ < ext_.size()) {
+    std::span<const std::byte> bufs[2];
+    std::size_t nbufs = 0;
+    if (out_off_ < out_buf_.size())
+      bufs[nbufs++] =
+          std::span<const std::byte>(out_buf_).subspan(out_off_);
+    if (ext_off_ < ext_.size()) bufs[nbufs++] = ext_.subspan(ext_off_);
     std::size_t put = 0;
-    const IoStatus st = try_write_bytes(out_buf_.data() + out_off_,
-                                        out_buf_.size() - out_off_, put);
-    out_off_ += put;
+    const IoStatus st = try_write_bytes_vec(bufs, nbufs, put);
+    // Stream writes fill in order: progress lands on the staged head
+    // first, the rest on the referenced extent.
+    const std::size_t head_put =
+        std::min(put, out_buf_.size() - out_off_);
+    out_off_ += head_put;
+    ext_off_ += put - head_put;
     if (st != IoStatus::ok) return st;
   }
   out_buf_.clear();
   out_off_ = 0;
+  ext_ = {};
+  ext_off_ = 0;
   return IoStatus::ok;
 }
 

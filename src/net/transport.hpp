@@ -27,6 +27,12 @@
 //    same frame later" (outbound backlog, or a fault-injected delay whose
 //    release time retry_after() exposes so reactors arm a timer instead
 //    of sleeping).
+//  * try_write_frame_ext is the zero-copy variant: the frame is
+//    head ++ ext, where only the small head is copied into staging and
+//    the (typically large, immutable) ext is *referenced* until drained.
+//    The wire image is identical to try_write_frame(head++ext); both sides
+//    drain through one vectored primitive (try_write_bytes_vec, sendmsg
+//    on Socket) so a paced coded-message stream costs zero payload copies.
 //  * want_write() says whether staged output remains; the reactor maps it
 //    onto EPOLLOUT interest.  want_read() says a frame is mid-reassembly.
 //  * blocking and non-blocking calls may be mixed on one transport as
@@ -96,6 +102,17 @@ class Transport {
   /// flushes opportunistically.
   virtual TryWrite try_write_frame(std::span<const std::byte> frame);
 
+  /// Stage one frame whose payload is head ++ ext, copying only `head`
+  /// (plus the length prefix) into the staging buffer; `ext` is held as a
+  /// reference and written straight from the caller's memory.  Same
+  /// accepted-at-most-once contract and wire image as
+  /// try_write_frame(head ++ ext).  LIFETIME: once accepted, the bytes
+  /// behind `ext` must stay valid and unchanged until want_write() turns
+  /// false (or the transport is closed) — the serving path points it at
+  /// the immutable MessageStore, which outlives every session.
+  virtual TryWrite try_write_frame_ext(std::span<const std::byte> head,
+                                       std::span<const std::byte> ext);
+
   /// Drain staged output.  ok = nothing left, blocked = bytes remain
   /// (wait for writability), closed/error = connection dead.
   virtual IoStatus try_flush();
@@ -105,7 +122,9 @@ class Transport {
   virtual TryRead try_read_frame(std::size_t max_len);
 
   /// Staged outbound bytes remain (map onto EPOLLOUT interest).
-  virtual bool want_write() const { return out_off_ < out_buf_.size(); }
+  virtual bool want_write() const {
+    return out_off_ < out_buf_.size() || ext_off_ < ext_.size();
+  }
   /// An inbound frame is mid-reassembly (header or body partially read).
   virtual bool want_read() const { return in_hdr_got_ > 0 || in_got_ > 0; }
 
@@ -147,11 +166,21 @@ class Transport {
                                   std::size_t& got);
   virtual IoStatus try_write_bytes(const std::byte* data, std::size_t n,
                                    std::size_t& put);
+  /// Vectored non-blocking write: push the buffers in order, reporting
+  /// total progress in `put` (progress fills bufs[0] before bufs[1], as a
+  /// stream write must).  Default: sequential try_write_bytes calls;
+  /// Socket overrides with one sendmsg so a frame head and its referenced
+  /// payload leave in a single syscall.
+  virtual IoStatus try_write_bytes_vec(const std::span<const std::byte>* bufs,
+                                       std::size_t nbufs, std::size_t& put);
 
  private:
-  // Outbound staging: [out_off_, out_buf_.size()) awaits the wire.
+  // Outbound staging: [out_off_, out_buf_.size()) awaits the wire, then
+  // the referenced extent [ext_off_, ext_.size()) of the current frame.
   std::vector<std::byte> out_buf_;
   std::size_t out_off_ = 0;
+  std::span<const std::byte> ext_;
+  std::size_t ext_off_ = 0;
   // Inbound reassembly: header first, then body.
   std::byte in_hdr_[4] = {};
   std::size_t in_hdr_got_ = 0;

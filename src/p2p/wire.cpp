@@ -195,6 +195,21 @@ std::vector<std::byte> encode(const coding::EncodedMessage& msg) {
   return w.take();
 }
 
+std::array<std::byte, kCodedMessageHeaderBytes> encode_coded_message_header(
+    const coding::EncodedMessage& msg) {
+  std::array<std::byte, kCodedMessageHeaderBytes> out{};
+  out[0] = std::byte{static_cast<std::uint8_t>(MessageType::coded_message)};
+  const auto put = [&out](std::size_t at, std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i)
+      out[at + static_cast<std::size_t>(i)] =
+          std::byte{static_cast<std::uint8_t>(v >> (8 * i))};
+  };
+  put(1, msg.file_id, 8);
+  put(9, msg.message_id, 8);
+  put(17, msg.payload.size(), 4);
+  return out;
+}
+
 std::vector<std::byte> encode(const coding::AuthenticatedMessage& msg) {
   Writer w(MessageType::authenticated_message);
   w.put_u64(msg.message.file_id);

@@ -9,6 +9,8 @@
 // input yields nullopt, never UB) — exercised by mutation tests.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -57,6 +59,17 @@ std::vector<std::byte> encode(const crypto::AuthResponse& msg);
 std::vector<std::byte> encode(const FileRequest& msg);
 std::vector<std::byte> encode(const StopTransmission& msg);
 std::vector<std::byte> encode(const coding::EncodedMessage& msg);
+
+/// Framing bytes of a coded_message frame ahead of the payload: the type
+/// tag, both u64 ids, and the u32 payload length.
+inline constexpr std::size_t kCodedMessageHeaderBytes = 1 + 8 + 8 + 4;
+
+/// Encode only the coded_message framing, for scatter-gather sends: the
+/// returned header followed by msg.payload is byte-identical to
+/// encode(msg), so the serving path can reference the payload in place
+/// instead of copying it into a frame.
+std::array<std::byte, kCodedMessageHeaderBytes> encode_coded_message_header(
+    const coding::EncodedMessage& msg);
 std::vector<std::byte> encode(const coding::AuthenticatedMessage& msg);
 std::vector<std::byte> encode(const coding::FileInfo& info);
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "gf/row_ops.hpp"
@@ -78,6 +79,25 @@ TEST_P(SimdDispatchTest, ReportsKernelVariant) {
   EXPECT_EQ(dispatched().row_bytes, scalar().row_bytes);
 }
 
+TEST_P(SimdDispatchTest, WideFieldTierMatchesFeaturesAndCap) {
+  // The wide fields must land on the best tier the (possibly capped)
+  // feature set allows; lower tiers are reached via FAIRSHARE_KERNEL_CAP
+  // (the ctest variants gf_simd_dispatch_cap_*).
+  if (GetParam() != FieldId::gf2_16 && GetParam() != FieldId::gf2_32)
+    GTEST_SKIP();
+  if (scalar_kernels_forced()) GTEST_SKIP();
+  const CpuFeatures feat = cpu_features();
+  const char* cap = kernel_tier_cap();
+  const std::string kernel = dispatched().kernel;
+  if (cap == nullptr && feat.gfni && feat.avx512f && feat.avx512bw) {
+    EXPECT_EQ(kernel, "gfni512");
+  } else if ((cap == nullptr || std::string(cap) == "avx2") && feat.avx2) {
+    EXPECT_EQ(kernel, "avx2");
+  } else {
+    EXPECT_EQ(kernel, "window64");
+  }
+}
+
 TEST_P(SimdDispatchTest, AxpyMatchesScalarAcrossLengths) {
   sim::SplitMix64 rng(0xD1FF + static_cast<std::uint64_t>(GetParam()));
   for (const std::size_t n : kLengths) {
@@ -100,6 +120,7 @@ TEST_P(SimdDispatchTest, AxpyMatchesScalarUnaligned) {
 TEST_P(SimdDispatchTest, ScaleMatchesScalarAcrossLengths) {
   sim::SplitMix64 rng(0x5CA1E + static_cast<std::uint64_t>(GetParam()));
   for (const std::size_t n : kLengths) {
+    diff_scale(n, 0, 0, rng);  // annihilation fast path
     diff_scale(n, 1, 0, rng);
     for (int t = 0; t < 4; ++t) diff_scale(n, random_scalar(rng), 0, rng);
     for (const std::size_t off : kOffsets)

@@ -48,6 +48,56 @@ TEST(Socket, FrameRoundTripOverLoopback) {
   server.join();
 }
 
+TEST(Socket, ScatterGatherFrameMatchesCopyingFrame) {
+  // try_write_frame_ext(head, ext) must put the exact same bytes on the
+  // wire as try_write_frame(head ++ ext), including when the payload is
+  // large enough that the sendmsg drain spans many partial writes against
+  // a full kernel send buffer — the zero-copy serve path's contract.
+  auto listener = Listener::bind_local(0);
+  ASSERT_TRUE(listener.has_value());
+  auto client = Socket::connect_to("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  auto conn = listener->accept(2000);
+  ASSERT_TRUE(conn.has_value());
+  conn->set_nonblocking(true);
+
+  std::vector<std::byte> head(21);
+  for (std::size_t i = 0; i < head.size(); ++i)
+    head[i] = std::byte{static_cast<std::uint8_t>(0xA0 + i)};
+  std::vector<std::byte> ext(1 << 20);
+  for (std::size_t i = 0; i < ext.size(); ++i)
+    ext[i] = std::byte{static_cast<std::uint8_t>(i * 131 + 7)};
+  std::vector<std::byte> whole = head;
+  whole.insert(whole.end(), ext.begin(), ext.end());
+
+  std::thread writer([&] {
+    const auto drain = [&] {
+      while (conn->want_write()) {
+        const IoStatus st = conn->try_flush();
+        if (st == IoStatus::blocked) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        ASSERT_EQ(st, IoStatus::ok);
+      }
+    };
+    const TryWrite r = conn->try_write_frame_ext(head, ext);
+    ASSERT_TRUE(r.accepted);  // nothing staged: accepted even if blocked
+    drain();
+    const TryWrite r2 = conn->try_write_frame(whole);
+    ASSERT_TRUE(r2.accepted);
+    drain();
+  });
+
+  const auto gathered = recv_frame(*client, whole.size());
+  ASSERT_TRUE(gathered.has_value());
+  EXPECT_EQ(*gathered, whole);
+  const auto copied = recv_frame(*client, whole.size());
+  ASSERT_TRUE(copied.has_value());
+  EXPECT_EQ(*copied, whole);
+  writer.join();
+}
+
 TEST(Socket, OversizedFrameRejected) {
   auto listener = Listener::bind_local(0);
   ASSERT_TRUE(listener.has_value());

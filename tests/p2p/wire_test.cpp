@@ -128,6 +128,25 @@ TEST(Wire, EmptyPayloadCodedMessage) {
   EXPECT_TRUE(back->payload.empty());
 }
 
+TEST(Wire, CodedMessageHeaderPlusPayloadEqualsEncode) {
+  // The scatter-gather serve path frames a message as header ++ payload;
+  // that image must be byte-identical to the copying encoder's, for any
+  // payload length (the u32 length field lives in the header).
+  for (const std::size_t n : {0u, 1u, 255u, 4096u}) {
+    coding::EncodedMessage m;
+    m.file_id = 0x0123456789ABCDEFull;
+    m.message_id = 0xFEDCBA9876543210ull;
+    m.payload.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      m.payload[i] = std::byte{static_cast<std::uint8_t>(i * 37 + 1)};
+    const auto header = encode_coded_message_header(m);
+    std::vector<std::byte> gathered(header.begin(), header.end());
+    gathered.insert(gathered.end(), m.payload.begin(), m.payload.end());
+    EXPECT_EQ(gathered, encode(m)) << "payload bytes " << n;
+    EXPECT_EQ(header.size(), kCodedMessageHeaderBytes);
+  }
+}
+
 TEST(Wire, AuthenticatedMessageRoundTrip) {
   const auto m = sample_authenticated();
   const auto back = decode_authenticated_message(encode(m));

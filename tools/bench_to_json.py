@@ -21,8 +21,13 @@ With --compare the tool checks a fresh run against the committed baseline
 instead of writing one: it prints a per-benchmark delta table (new vs
 baseline real_time_ns, matched by name within each run) and exits nonzero
 when any benchmark regresses by more than --threshold percent (default
-25).  CI runs this as a non-blocking step; locally it answers "did my
-change slow the kernels down?" in one command.
+25) or when any baseline benchmark is missing from the fresh run.  CI
+runs this as a non-blocking step; locally it answers "did my change slow
+the kernels down?" in one command.
+
+Baselines are only written from release builds of the benchmark binary
+(the binary self-reports via the fairshare_build_type context);
+--allow-debug overrides for local experiments.
 """
 
 import argparse
@@ -65,11 +70,16 @@ def to_ns(value, unit):
 
 def host_context(doc):
     ctx = doc.get("context", {})
+    # `fairshare_build_type` is the benchmark binary's own optimisation
+    # state (AddCustomContext in microbench_kernels.cpp);
+    # `library_build_type` only describes how libbenchmark was compiled
+    # (Debian ships a debug one) and is kept as a fallback for old runs.
     return {
         "num_cpus": ctx.get("num_cpus"),
         "mhz_per_cpu": ctx.get("mhz_per_cpu"),
         "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
-        "build_type": ctx.get("library_build_type"),
+        "build_type": ctx.get("fairshare_build_type",
+                              ctx.get("library_build_type")),
     }
 
 
@@ -99,7 +109,8 @@ def speedups(native, scalar):
 
 def compare_runs(run_name, fresh, baseline_entries, threshold_pct):
     """Print per-benchmark deltas of `fresh` against the baseline run and
-    return the names that regressed beyond the threshold."""
+    return (regressed, missing): names beyond the threshold and baseline
+    names absent from the fresh run."""
     regressed = []
     base_by = by_name(baseline_entries)
     print("%-44s %14s %14s %9s" % (run_name, "baseline_ns", "current_ns",
@@ -118,10 +129,11 @@ def compare_runs(run_name, fresh, baseline_entries, threshold_pct):
         print("%-44s %14.1f %14.1f %+8.1f%%%s"
               % (entry["name"], base["real_time_ns"], entry["real_time_ns"],
                  delta_pct, flag))
-    for name in sorted(set(base_by) - {e["name"] for e in fresh}):
+    missing = sorted(set(base_by) - {e["name"] for e in fresh})
+    for name in missing:
         print("%-44s %14.1f %14s %9s"
               % (name, base_by[name]["real_time_ns"], "-", "missing"))
-    return regressed
+    return regressed, missing
 
 
 def run_compare(args, native, scalar):
@@ -129,17 +141,32 @@ def run_compare(args, native, scalar):
     runs = baseline.get("runs", {})
     if not runs.get("native"):
         sys.exit("no runs.native entries in baseline " + args.compare)
-    regressed = compare_runs("native", native, runs["native"], args.threshold)
+    regressed, missing = compare_runs("native", native, runs["native"],
+                                      args.threshold)
     if scalar and runs.get("forced_scalar"):
         print()
-        regressed += compare_runs("forced_scalar", scalar,
-                                  runs["forced_scalar"], args.threshold)
+        more_regressed, more_missing = compare_runs(
+            "forced_scalar", scalar, runs["forced_scalar"], args.threshold)
+        regressed += more_regressed
+        missing += more_missing
     print()
+    # A baseline benchmark that the fresh run never produced is a failure,
+    # not a footnote: a renamed or silently-dropped benchmark would
+    # otherwise make the regression gate vacuously green.
+    failed = False
     if regressed:
         print("FAIL: %d benchmark(s) regressed more than %.0f%% vs %s:"
               % (len(regressed), args.threshold, args.compare))
         for name in regressed:
             print("  " + name)
+        failed = True
+    if missing:
+        print("FAIL: %d baseline benchmark(s) missing from this run "
+              "(renamed? filtered out?):" % len(missing))
+        for name in missing:
+            print("  " + name)
+        failed = True
+    if failed:
         sys.exit(1)
     print("OK: no benchmark regressed more than %.0f%% vs %s"
           % (args.threshold, args.compare))
@@ -157,6 +184,10 @@ def main():
     ap.add_argument("--threshold", type=float, default=25.0,
                     help="regression threshold in percent for --compare "
                     "(default: %(default)s)")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="write a baseline even from a non-release build "
+                    "(normally refused: debug timings are meaningless as a "
+                    "committed reference)")
     args = ap.parse_args()
 
     native_doc = load_run(args.native)
@@ -171,10 +202,17 @@ def main():
         run_compare(args, native, scalar)
         return
 
+    host = host_context(native_doc)
+    if host.get("build_type") != "release" and not args.allow_debug:
+        sys.exit("refusing to write a baseline from a %r build of the "
+                 "benchmark binary — rebuild with CMAKE_BUILD_TYPE=Release "
+                 "(or pass --allow-debug to override)"
+                 % host.get("build_type"))
+
     baseline = {
         "schema": 1,
         "generated_by": "tools/bench_to_json.py (cmake --build build --target bench_baseline)",
-        "host": host_context(native_doc),
+        "host": host,
         "speedup_simd_over_scalar": speedups(native, scalar),
         "runs": {"native": native},
     }

@@ -9,10 +9,12 @@
 //   fairshare_cli caps    (alias: version)
 //   fairshare_cli stats   <stats.json> [--pid <pid>]
 //
-// caps prints the build version, detected CPU features, the row-kernel
-// variant each field dispatched to, and the net serving backend a
-// PeerServer would pick here (epoll availability included), so perf
-// reports are attributable to a code path.
+// caps prints the build version, detected CPU features (including the
+// GFNI/AVX-512 bits the wide-field kernels key on), any active
+// FAIRSHARE_KERNEL_CAP tier cap, the row-kernel variant each field
+// dispatched to, and the net serving backend a PeerServer would pick here
+// (epoll availability included), so perf reports are attributable to a
+// code path.
 //
 // stats pretty-prints a registry dump written by the obs JSON exporter
 // (e.g. PeerServer::Config::stats_json_path).  With --pid it first sends
@@ -452,8 +454,14 @@ int cmd_stats(const Options& opt) {
 int cmd_caps() {
   const gf::CpuFeatures feat = gf::cpu_features();
   std::printf("fairshare %s\n", FAIRSHARE_VERSION);
-  std::printf("cpu features   : ssse3=%s avx2=%s\n", feat.ssse3 ? "yes" : "no",
-              feat.avx2 ? "yes" : "no");
+  std::printf("cpu features   : ssse3=%s avx2=%s gfni=%s avx512f=%s "
+              "avx512bw=%s\n",
+              feat.ssse3 ? "yes" : "no", feat.avx2 ? "yes" : "no",
+              feat.gfni ? "yes" : "no", feat.avx512f ? "yes" : "no",
+              feat.avx512bw ? "yes" : "no");
+  std::printf("kernel tier cap: %s\n",
+              gf::kernel_tier_cap() ? gf::kernel_tier_cap()
+                                    : "none (FAIRSHARE_KERNEL_CAP unset)");
   std::printf("scalar forced  : %s\n", gf::scalar_kernels_forced()
                                            ? "yes (env/CMake pin)"
                                            : "no");
