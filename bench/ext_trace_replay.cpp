@@ -1,0 +1,148 @@
+// Trace-replay throughput: how fast the two replay engines chew through
+// the synthetic workload families.
+//
+// BM_TraceReplaySim_* measure the slotted-simulator engine alone — pure
+// compute, the number that regresses when the allocator/simulator hot path
+// slows down.  BM_TraceReplayLive runs the same flash-crowd trace against
+// a real paced PeerServer over loopback TCP; its wall time is dominated by
+// the pacing schedule itself (the trace spans horizon * slot_seconds of
+// wall clock), so treat it as an end-to-end smoke number, not a kernel
+// timing.  bytes_per_second reports delivered payload per wall second.
+//
+// The bench_baseline CMake target runs these with --benchmark_out and
+// merges the condensed entries into BENCH_kernels.json under
+// runs.trace_replay (tools/bench_to_json.py --merge).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "coding/params.hpp"
+#include "net/replay_driver.hpp"
+#include "sim/replay.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace fairshare;
+
+constexpr std::uint64_t kFileBytes = 20000;
+const coding::CodingParams kParams{gf::FieldId::gf2_32, 256};
+
+double overhead() {
+  coding::FileInfo shape;
+  shape.original_bytes = kFileBytes;
+  shape.params = kParams;
+  shape.k = coding::chunks_for_bytes(kFileBytes, kParams);
+  return net::wire_overhead_factor(shape);
+}
+
+sim::SimReplayConfig sim_config(double rate_kbps) {
+  sim::SimReplayConfig config;
+  config.rate_kbps = rate_kbps;
+  config.slot_seconds = 0.05;
+  config.quantize_bytes = kFileBytes;
+  config.wire_overhead = overhead();
+  return config;
+}
+
+double delivered_payload(const sim::ReplayReport& report) {
+  double bytes = 0.0;
+  for (const sim::ReplayUserStats& user : report.users)
+    bytes += user.delivered_bytes;
+  return bytes;
+}
+
+void run_sim_family(benchmark::State& state, const sim::WorkloadTrace& trace,
+                    double rate_kbps) {
+  double delivered = 0.0;
+  for (auto _ : state) {
+    const sim::ReplayReport report = sim::replay_sim(trace, sim_config(rate_kbps));
+    delivered = delivered_payload(report);
+    benchmark::DoNotOptimize(&report);
+  }
+  state.counters["events"] = static_cast<double>(trace.size());
+  state.counters["delivered_bytes"] = delivered;
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      delivered * static_cast<double>(state.iterations())));
+}
+
+void BM_TraceReplaySim_Poisson(benchmark::State& state) {
+  sim::PoissonConfig config;
+  config.users = 4;
+  config.horizon = 64;
+  config.mean_bytes = kFileBytes;
+  config.seed = 1;
+  run_sim_family(state, sim::poisson_trace(config), 8000.0);
+}
+BENCHMARK(BM_TraceReplaySim_Poisson)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceReplaySim_Zipf(benchmark::State& state) {
+  sim::ZipfConfig config;
+  config.users = 4;
+  config.horizon = 64;
+  config.events = 64;
+  config.mean_bytes = kFileBytes;
+  config.seed = 1;
+  run_sim_family(state, sim::zipf_trace(config), 8000.0);
+}
+BENCHMARK(BM_TraceReplaySim_Zipf)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceReplaySim_Flash(benchmark::State& state) {
+  sim::FlashCrowdConfig config;
+  config.users = 4;
+  config.horizon = 64;
+  config.mean_bytes = kFileBytes;
+  config.seed = 1;
+  run_sim_family(state, sim::flash_crowd_trace(config), 8000.0);
+}
+BENCHMARK(BM_TraceReplaySim_Flash)->Unit(benchmark::kMicrosecond);
+
+// End-to-end: paced server + real downloads over loopback.  One iteration
+// replays a 0.6 s trace, so iterations are pinned low to keep the bench
+// (and CI's bench-smoke) fast.
+void BM_TraceReplayLive(benchmark::State& state) {
+  sim::FlashCrowdConfig trace_config;
+  trace_config.users = 3;
+  trace_config.horizon = 12;
+  trace_config.mean_bytes = kFileBytes;
+  trace_config.seed = 1;
+  const sim::WorkloadTrace trace = sim::flash_crowd_trace(trace_config);
+
+  double delivered = 0.0;
+  std::size_t failed = 0;
+  for (auto _ : state) {
+    net::LiveReplayConfig config;
+    config.rate_kbps = 8000.0;
+    config.slot_seconds = 0.05;
+    const sim::ReplayReport report =
+        net::replay_live(trace, kFileBytes, kParams, config);
+    delivered = delivered_payload(report);
+    failed += report.transfers_failed;
+  }
+  state.counters["events"] = static_cast<double>(trace.size());
+  state.counters["transfers_failed"] = static_cast<double>(failed);
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      delivered * static_cast<double>(state.iterations())));
+}
+BENCHMARK(BM_TraceReplayLive)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Same self-report as microbench_kernels: record this binary's own
+  // optimisation state so tools/bench_to_json.py can refuse to bless a
+  // debug-build baseline.
+#ifdef __OPTIMIZE__
+  benchmark::AddCustomContext("fairshare_build_type", "release");
+#else
+  benchmark::AddCustomContext("fairshare_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

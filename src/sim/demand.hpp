@@ -39,17 +39,22 @@ class NeverDemand final : public DemandProcess {
 };
 
 /// iid Bernoulli(gamma) per slot — the analytical model of Section IV-A.
+/// The draw is a pure function of (seed, slot): seeding SplitMix64 at
+/// state seed + slot * gamma64 makes its first output the slot-th element
+/// of the seed's canonical stream, so querying any slot, in any order, any
+/// number of times, always yields that same element.
 class BernoulliDemand final : public DemandProcess {
  public:
   BernoulliDemand(double gamma, std::uint64_t seed)
-      : gamma_(gamma), rng_(seed) {}
-  bool requests(std::uint64_t) override {
-    return rng_.next_double() < gamma_;
+      : gamma_(gamma), seed_(seed) {}
+  bool requests(std::uint64_t slot) override {
+    SplitMix64 rng(seed_ + slot * 0x9E3779B97F4A7C15ull);
+    return rng.next_double() < gamma_;
   }
 
  private:
   double gamma_;
-  SplitMix64 rng_;
+  std::uint64_t seed_;
 };
 
 /// Demand driven externally between slots — the hook for job-level

@@ -1,0 +1,369 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "sim/rng.hpp"
+
+namespace fairshare::sim {
+
+// ------------------------------------------------------- WorkloadTrace
+
+void WorkloadTrace::add(WorkloadEvent event) {
+  if (!events_.empty() && sorted_) {
+    const WorkloadEvent& last = events_.back();
+    if (event.arrival_slot < last.arrival_slot ||
+        (event.arrival_slot == last.arrival_slot &&
+         event.user_id < last.user_id))
+      sorted_ = false;
+  }
+  events_.push_back(event);
+}
+
+void WorkloadTrace::normalize() {
+  if (sorted_) return;
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const WorkloadEvent& a, const WorkloadEvent& b) {
+                     if (a.arrival_slot != b.arrival_slot)
+                       return a.arrival_slot < b.arrival_slot;
+                     return a.user_id < b.user_id;
+                   });
+  sorted_ = true;
+}
+
+std::vector<std::uint64_t> WorkloadTrace::users() const {
+  std::vector<std::uint64_t> ids;
+  for (const WorkloadEvent& e : events_) ids.push_back(e.user_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::uint64_t WorkloadTrace::horizon() const {
+  std::uint64_t last = 0;
+  bool any = false;
+  for (const WorkloadEvent& e : events_) {
+    last = std::max(last, e.arrival_slot);
+    any = true;
+  }
+  return any ? last + 1 : 0;
+}
+
+std::uint64_t WorkloadTrace::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const WorkloadEvent& e : events_) sum += e.bytes;
+  return sum;
+}
+
+std::uint64_t WorkloadTrace::user_bytes(std::uint64_t user_id) const {
+  std::uint64_t sum = 0;
+  for (const WorkloadEvent& e : events_)
+    if (e.user_id == user_id) sum += e.bytes;
+  return sum;
+}
+
+WorkloadTrace WorkloadTrace::quantized(std::uint64_t unit) const {
+  assert(unit > 0);
+  WorkloadTrace out;
+  for (WorkloadEvent e : events_) {
+    const std::uint64_t units = (e.bytes + unit - 1) / unit;
+    e.bytes = std::max<std::uint64_t>(units, 1) * unit;
+    out.add(e);
+  }
+  out.normalize();
+  return out;
+}
+
+std::string to_text(const WorkloadTrace& trace) {
+  std::ostringstream out;
+  out << "workload-trace v1\n";
+  out << "events " << trace.size() << " users " << trace.users().size()
+      << " horizon " << trace.horizon() << " total_bytes "
+      << trace.total_bytes() << "\n";
+  for (const WorkloadEvent& e : trace.events())
+    out << e.user_id << " " << e.arrival_slot << " " << e.bytes << "\n";
+  std::map<std::uint64_t, std::pair<std::size_t, std::uint64_t>> per_user;
+  for (const WorkloadEvent& e : trace.events()) {
+    auto& [n, bytes] = per_user[e.user_id];
+    ++n;
+    bytes += e.bytes;
+  }
+  for (const auto& [id, agg] : per_user)
+    out << "user " << id << " events " << agg.first << " bytes "
+        << agg.second << "\n";
+  return out.str();
+}
+
+// ------------------------------------------------------------ importer
+
+namespace {
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_double(std::string_view token, double& out) {
+  // std::from_chars<double> is still spotty across stdlibs; strtod on a
+  // bounded copy keeps this portable.
+  const std::string copy(token);
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && copy.size() > 0;
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+std::string line_error(std::size_t line_no, const std::string& what) {
+  std::ostringstream out;
+  out << "line " << line_no << ": " << what;
+  return out.str();
+}
+
+}  // namespace
+
+std::optional<WorkloadTrace> parse_dxt(std::string_view text,
+                                       double slot_seconds,
+                                       std::string* error,
+                                       DxtStats* stats) {
+  assert(slot_seconds > 0.0);
+  WorkloadTrace trace;
+  DxtStats local;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::vector<std::string_view> fields = split_fields(line);
+    if (fields.empty() || fields[0].front() == '#') continue;
+    if (fields.size() != 8) {
+      if (error)
+        *error = line_error(line_no, "expected 8 fields, got " +
+                                         std::to_string(fields.size()));
+      return std::nullopt;
+    }
+    std::uint64_t rank = 0, segment = 0, offset = 0, length = 0;
+    double start = 0.0, finish = 0.0;
+    if (!parse_u64(fields[1], rank)) {
+      if (error) *error = line_error(line_no, "bad rank");
+      return std::nullopt;
+    }
+    if (fields[2] != "read" && fields[2] != "write") {
+      if (error)
+        *error = line_error(line_no,
+                            "unknown op \"" + std::string(fields[2]) + "\"");
+      return std::nullopt;
+    }
+    if (!parse_u64(fields[3], segment) || !parse_u64(fields[4], offset)) {
+      if (error) *error = line_error(line_no, "bad segment/offset");
+      return std::nullopt;
+    }
+    if (!parse_u64(fields[5], length)) {
+      if (error) *error = line_error(line_no, "bad length");
+      return std::nullopt;
+    }
+    if (!parse_double(fields[6], start) || !parse_double(fields[7], finish) ||
+        start < 0.0) {
+      if (error) *error = line_error(line_no, "bad start/end time");
+      return std::nullopt;
+    }
+    if (finish < start) {
+      if (error) *error = line_error(line_no, "end precedes start");
+      return std::nullopt;
+    }
+    if (length == 0) {
+      ++local.skipped_zero;
+      continue;
+    }
+    WorkloadEvent event;
+    event.user_id = rank;
+    event.arrival_slot =
+        static_cast<std::uint64_t>(std::floor(start / slot_seconds));
+    event.bytes = length;
+    trace.add(event);
+    ++local.events;
+  }
+  local.reordered = !trace.is_sorted();
+  trace.normalize();
+  if (stats) *stats = local;
+  return trace;
+}
+
+std::optional<WorkloadTrace> load_dxt_file(const std::string& path,
+                                           double slot_seconds,
+                                           std::string* error,
+                                           DxtStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_dxt(buffer.str(), slot_seconds, error, stats);
+}
+
+// ---------------------------------------------------------- generators
+
+namespace {
+
+/// Truncated Pareto(alpha=2, x_m=mean/2) — heavy-tailed transfer sizes
+/// with finite mean ~= `mean`, capped at 16x to bound replay runtimes.
+std::uint64_t heavy_bytes(SplitMix64& rng, std::uint64_t mean) {
+  assert(mean > 0);
+  const double u = rng.next_double();  // [0, 1)
+  const double xm = static_cast<double>(mean) / 2.0;
+  double v = xm / std::sqrt(1.0 - u);
+  v = std::min(v, 16.0 * static_cast<double>(mean));
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(v));
+}
+
+/// Poisson(lambda) by Knuth's product-of-uniforms (lambda is O(1) here).
+std::uint64_t poisson_draw(SplitMix64& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+WorkloadTrace poisson_trace(const PoissonConfig& config) {
+  WorkloadTrace trace;
+  SplitMix64 root(config.seed);
+  for (std::size_t u = 0; u < config.users; ++u) {
+    SplitMix64 rng = root.fork();
+    for (std::uint64_t t = 0; t < config.horizon; ++t) {
+      const std::uint64_t arrivals =
+          poisson_draw(rng, config.events_per_user_slot);
+      for (std::uint64_t a = 0; a < arrivals; ++a)
+        trace.add({u + 1, t, heavy_bytes(rng, config.mean_bytes)});
+    }
+  }
+  trace.normalize();
+  return trace;
+}
+
+WorkloadTrace zipf_trace(const ZipfConfig& config) {
+  WorkloadTrace trace;
+  SplitMix64 rng(config.seed);
+  // CDF over user ranks: P(rank r) ~ 1/r^s.
+  std::vector<double> cdf(config.users, 0.0);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < config.users; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), config.s);
+    cdf[r] = sum;
+  }
+  for (std::size_t e = 0; e < config.events; ++e) {
+    const double x = rng.next_double() * sum;
+    std::size_t r = 0;
+    while (r + 1 < config.users && x > cdf[r]) ++r;
+    const std::uint64_t slot =
+        config.horizon ? rng.next_below(config.horizon) : 0;
+    trace.add({r + 1, slot, heavy_bytes(rng, config.mean_bytes)});
+  }
+  trace.normalize();
+  return trace;
+}
+
+WorkloadTrace flash_crowd_trace(const FlashCrowdConfig& config) {
+  PoissonConfig base;
+  base.users = config.users;
+  base.horizon = config.horizon;
+  base.events_per_user_slot = config.base_events_per_user_slot;
+  base.mean_bytes = config.mean_bytes;
+  base.seed = config.seed;
+  WorkloadTrace trace = poisson_trace(base);
+  SplitMix64 rng(config.seed ^ 0xF1A5'4C40'DD00'1234ull);
+  for (std::size_t e = 0; e < config.burst_events; ++e)
+    trace.add({static_cast<std::uint64_t>(e % config.users) + 1,
+               config.burst_slot, heavy_bytes(rng, config.mean_bytes)});
+  trace.normalize();
+  return trace;
+}
+
+WorkloadTrace diurnal_trace(const DiurnalConfig& config) {
+  assert(config.period > 0);
+  WorkloadTrace trace;
+  SplitMix64 root(config.seed);
+  const double pi = 3.14159265358979323846;
+  for (std::size_t u = 0; u < config.users; ++u) {
+    SplitMix64 rng = root.fork();
+    for (std::uint64_t t = 0; t < config.horizon; ++t) {
+      const double phase = 2.0 * pi * static_cast<double>(t % config.period) /
+                           static_cast<double>(config.period);
+      const double shape = 0.5 - 0.5 * std::cos(phase);  // 0 at t=0, 1 mid
+      const double rate =
+          config.trough_events_per_user_slot +
+          (config.peak_events_per_user_slot -
+           config.trough_events_per_user_slot) *
+              shape;
+      const std::uint64_t arrivals = poisson_draw(rng, rate);
+      for (std::uint64_t a = 0; a < arrivals; ++a)
+        trace.add({u + 1, t, heavy_bytes(rng, config.mean_bytes)});
+    }
+  }
+  trace.normalize();
+  return trace;
+}
+
+// --------------------------------------------------------- TraceDemand
+
+TraceDemand::TraceDemand(const WorkloadTrace& trace, std::uint64_t user_id) {
+  assert(trace.is_sorted() && "normalize() the trace before adapting it");
+  for (const WorkloadEvent& e : trace.events())
+    if (e.user_id == user_id) {
+      events_.push_back(e);
+      total_bytes_ += e.bytes;
+    }
+}
+
+bool TraceDemand::requests(std::uint64_t slot) {
+  assert(slot >= last_slot_ && "closed-loop demand is queried in slot order");
+  last_slot_ = slot;
+  while (next_ < events_.size() && events_[next_].arrival_slot <= slot) {
+    arrived_bytes_ += static_cast<double>(events_[next_].bytes);
+    ++next_;
+  }
+  return backlog() > 0.5;  // half a byte: absorbs double rounding
+}
+
+double TraceDemand::deliver(double bytes) {
+  const double consumed = std::min(bytes, backlog());
+  if (consumed <= 0.0) return 0.0;
+  delivered_bytes_ += consumed;
+  return consumed;
+}
+
+bool TraceDemand::done() const {
+  return next_ == events_.size() && backlog() <= 0.5;
+}
+
+}  // namespace fairshare::sim

@@ -1,0 +1,207 @@
+// Trace-driven workloads: one demand schema shared by the simulator and
+// the live-server replay driver.
+//
+// Every demand source — imported storage/P2P traces and the synthetic
+// generator families — is normalized into a WorkloadTrace: a time-sorted
+// list of WorkloadEvent{user_id, arrival_slot, bytes}.  The same trace can
+// then be run through sim::replay_sim (closed-loop backlog model, see
+// replay.hpp) and through net::replay_live (real paced downloads against a
+// PeerServer), and the two runs compared field-for-field — which is what
+// turns "handles bursty, heavy-tailed arrivals" into a regression-tested
+// property instead of a claim.
+//
+// The text importer reads a Darshan-DXT-like log format (the shape HPC
+// I/O tracing tools emit); see parse_dxt for the grammar.  Synthetic
+// generators cover the four canonical arrival shapes: Poisson background
+// load, Zipf-popularity skew, a flash crowd, and a diurnal cycle.  All
+// randomness flows from explicit SplitMix64 seeds, so a (config, seed)
+// pair names one reproducible trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/demand.hpp"
+
+namespace fairshare::sim {
+
+/// One demand event: user `user_id` asks for `bytes` at `arrival_slot`.
+struct WorkloadEvent {
+  std::uint64_t user_id = 0;
+  std::uint64_t arrival_slot = 0;
+  std::uint64_t bytes = 0;
+
+  friend bool operator==(const WorkloadEvent&, const WorkloadEvent&) = default;
+};
+
+/// A demand schedule: events sorted by (arrival_slot, user_id, insertion).
+/// add() accepts events in any order; normalize() (called by the importer
+/// and every generator) stable-sorts, so consumers can rely on time order.
+class WorkloadTrace {
+ public:
+  void add(WorkloadEvent event);
+  /// Stable-sort events by (arrival_slot, user_id).  Idempotent.
+  void normalize();
+  bool is_sorted() const { return sorted_; }
+
+  const std::vector<WorkloadEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Distinct user ids, ascending.
+  std::vector<std::uint64_t> users() const;
+  /// One past the last arrival slot (0 when empty).
+  std::uint64_t horizon() const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t user_bytes(std::uint64_t user_id) const;
+
+  /// A copy with every event's bytes rounded UP to a multiple of `unit`
+  /// (the live driver transfers whole files of `unit` bytes, so a sim run
+  /// that should agree with it must serve the same rounded demand).
+  WorkloadTrace quantized(std::uint64_t unit) const;
+
+ private:
+  std::vector<WorkloadEvent> events_;
+  bool sorted_ = true;
+};
+
+/// Canonical text rendering used by the golden-file tests and `fairshare_cli
+/// replay --dump`: a header line, one line per event (sorted), then a
+/// per-user summary.  Deterministic for a normalized trace.
+std::string to_text(const WorkloadTrace& trace);
+
+// ------------------------------------------------------------- importer
+//
+// Darshan-DXT-like grammar, one record per line:
+//
+//   line      := comment | blank | record
+//   comment   := '#' <anything>
+//   record    := module rank op segment offset length start end
+//   module    := non-space token (e.g. "X_POSIX"; content ignored)
+//   rank      := uint64          -> WorkloadEvent::user_id
+//   op        := "read" | "write"
+//   segment   := uint64          (ignored)
+//   offset    := uint64          (ignored)
+//   length    := uint64          -> WorkloadEvent::bytes
+//   start,end := seconds, double, end >= start
+//                -> arrival_slot = floor(start / slot_seconds)
+//
+// Records may appear out of time order (DXT logs interleave ranks); the
+// importer sorts.  Zero-length records are dropped (counted in stats).
+// A malformed line — wrong field count, an unparsable number, an unknown
+// op, or end < start — fails the whole parse with a message naming the
+// 1-based line number.
+
+struct DxtStats {
+  std::size_t events = 0;        ///< records imported
+  std::size_t skipped_zero = 0;  ///< zero-length records dropped
+  bool reordered = false;        ///< input was not already time-sorted
+};
+
+/// Parse DXT-like text; nullopt on error (*error names the line).
+std::optional<WorkloadTrace> parse_dxt(std::string_view text,
+                                       double slot_seconds,
+                                       std::string* error,
+                                       DxtStats* stats = nullptr);
+
+/// parse_dxt over a file's contents; nullopt also when unreadable.
+std::optional<WorkloadTrace> load_dxt_file(const std::string& path,
+                                           double slot_seconds,
+                                           std::string* error,
+                                           DxtStats* stats = nullptr);
+
+// ----------------------------------------------------------- generators
+//
+// Event sizes are drawn from a truncated Pareto(alpha=2) with the given
+// mean — heavy-tailed (most events small, occasional 16x-mean elephants),
+// matching the shape of storage-trace transfer sizes.
+
+/// Poisson background load: each user emits events as an independent
+/// Poisson process of `events_per_user_slot` arrivals per slot.
+struct PoissonConfig {
+  std::size_t users = 4;
+  std::uint64_t horizon = 64;          ///< slots
+  double events_per_user_slot = 0.05;  ///< lambda per user per slot
+  std::uint64_t mean_bytes = 32 * 1024;
+  std::uint64_t seed = 1;
+};
+WorkloadTrace poisson_trace(const PoissonConfig& config);
+
+/// Zipf-popularity skew: `events` total arrivals at uniform times, each
+/// assigned to user rank r with probability proportional to 1/r^s —
+/// a few users dominate, the tail barely shows up.
+struct ZipfConfig {
+  std::size_t users = 4;
+  std::uint64_t horizon = 64;
+  std::size_t events = 32;
+  double s = 1.0;  ///< skew exponent (0 = uniform)
+  std::uint64_t mean_bytes = 32 * 1024;
+  std::uint64_t seed = 1;
+};
+WorkloadTrace zipf_trace(const ZipfConfig& config);
+
+/// Flash crowd: Poisson background plus `burst_events` arrivals landing
+/// in one slot, spread round-robin across the users.
+struct FlashCrowdConfig {
+  std::size_t users = 4;
+  std::uint64_t horizon = 64;
+  double base_events_per_user_slot = 0.02;
+  std::uint64_t burst_slot = 8;
+  std::size_t burst_events = 12;
+  std::uint64_t mean_bytes = 32 * 1024;
+  std::uint64_t seed = 1;
+};
+WorkloadTrace flash_crowd_trace(const FlashCrowdConfig& config);
+
+/// Diurnal cycle: per-user Poisson whose rate follows a raised cosine
+/// between `trough_events_per_user_slot` and `peak_events_per_user_slot`
+/// with the given period (peak at period/2).
+struct DiurnalConfig {
+  std::size_t users = 4;
+  std::uint64_t horizon = 96;
+  std::uint64_t period = 48;  ///< slots per day
+  double peak_events_per_user_slot = 0.10;
+  double trough_events_per_user_slot = 0.01;
+  std::uint64_t mean_bytes = 32 * 1024;
+  std::uint64_t seed = 1;
+};
+WorkloadTrace diurnal_trace(const DiurnalConfig& config);
+
+// ---------------------------------------------------------- TraceDemand
+
+/// DemandProcess adapter for one user of a WorkloadTrace.  Closed-loop,
+/// like ManualDemand: the user requests while it has backlog (arrived but
+/// undelivered bytes), and the engine driving it reports deliveries via
+/// deliver().  Slots must be queried in non-decreasing order (re-querying
+/// the current slot is fine); with an identical delivery sequence two
+/// instances answer identically, so replays are deterministic per seed.
+class TraceDemand final : public DemandProcess {
+ public:
+  TraceDemand(const WorkloadTrace& trace, std::uint64_t user_id);
+
+  bool requests(std::uint64_t slot) override;
+
+  /// Record `bytes` of service; returns the amount actually consumed
+  /// (delivery never exceeds what has arrived).
+  double deliver(double bytes);
+
+  double backlog() const { return arrived_bytes_ - delivered_bytes_; }
+  double arrived_bytes() const { return arrived_bytes_; }
+  double delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  /// Every event has arrived and been fully delivered.
+  bool done() const;
+
+ private:
+  std::vector<WorkloadEvent> events_;  // this user's slice, time-sorted
+  std::size_t next_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t last_slot_ = 0;
+  double arrived_bytes_ = 0.0;
+  double delivered_bytes_ = 0.0;
+};
+
+}  // namespace fairshare::sim

@@ -1,0 +1,193 @@
+// Property sweep over every DemandProcess implementation: the engine
+// contract is that requests(slot) is a deterministic function of
+// (construction parameters, slot), so re-querying is idempotent and two
+// identically-constructed instances always agree — even when their query
+// orders differ, up to each class's documented ordering contract
+// (RandomBlocksDemand draws periods monotonically; TraceDemand slots are
+// non-decreasing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/demand.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace fairshare;
+
+// ------------------------------------------------------------- Bernoulli
+
+// Regression for the ignore-slot bug: requests() used to advance a shared
+// RNG stream on every call, so the answer depended on HOW MANY times the
+// process had been queried, not on the slot.  Out-of-order and repeated
+// queries must now match an in-order scan exactly.
+TEST(BernoulliDemand, OutOfOrderQueriesMatchInOrderScan) {
+  const std::uint64_t kSlots = 512;
+  sim::BernoulliDemand in_order(0.4, 99);
+  std::vector<bool> expected;
+  expected.reserve(kSlots);
+  for (std::uint64_t t = 0; t < kSlots; ++t)
+    expected.push_back(in_order.requests(t));
+
+  sim::BernoulliDemand scrambled(0.4, 99);
+  // Descending, with duplicates interleaved.
+  for (std::uint64_t t = kSlots; t-- > 0;) {
+    EXPECT_EQ(scrambled.requests(t), expected[t]) << "slot " << t;
+    EXPECT_EQ(scrambled.requests(t), expected[t]) << "re-query slot " << t;
+  }
+  // A strided pass over the same instance still agrees.
+  for (std::uint64_t t = 0; t < kSlots; t += 7)
+    EXPECT_EQ(scrambled.requests(t), expected[t]) << "strided slot " << t;
+}
+
+TEST(BernoulliDemand, MarginalRateStillTracksGamma) {
+  // Determinism must not have collapsed the distribution.
+  const std::uint64_t kSlots = 20000;
+  sim::BernoulliDemand demand(0.3, 7);
+  std::uint64_t hits = 0;
+  for (std::uint64_t t = 0; t < kSlots; ++t)
+    if (demand.requests(t)) ++hits;
+  const double rate = static_cast<double>(hits) / kSlots;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(BernoulliDemand, SeedsDecorrelate) {
+  sim::BernoulliDemand a(0.5, 1);
+  sim::BernoulliDemand b(0.5, 2);
+  std::uint64_t differ = 0;
+  for (std::uint64_t t = 0; t < 1000; ++t)
+    if (a.requests(t) != b.requests(t)) ++differ;
+  // Independent fair coins disagree about half the time.
+  EXPECT_GT(differ, 350u);
+  EXPECT_LT(differ, 650u);
+}
+
+// ------------------------------------------------- generic determinism
+
+// Same construction + same query sequence -> same answers, and an
+// interleaved double-query (idempotence probe) never changes the stream.
+template <typename Make>
+void expect_replayable(Make make, const std::vector<std::uint64_t>& slots) {
+  auto a = make();
+  auto b = make();
+  for (std::uint64_t slot : slots) {
+    const bool first = a->requests(slot);
+    EXPECT_EQ(first, a->requests(slot)) << "idempotence at slot " << slot;
+    EXPECT_EQ(first, b->requests(slot)) << "replay at slot " << slot;
+  }
+}
+
+std::vector<std::uint64_t> ascending(std::uint64_t n) {
+  std::vector<std::uint64_t> slots(n);
+  for (std::uint64_t t = 0; t < n; ++t) slots[t] = t;
+  return slots;
+}
+
+TEST(DemandProperties, AllProcessesReplayDeterministically) {
+  const std::vector<std::uint64_t> slots = ascending(256);
+  expect_replayable(
+      [] { return std::make_unique<sim::AlwaysDemand>(); }, slots);
+  expect_replayable(
+      [] { return std::make_unique<sim::NeverDemand>(); }, slots);
+  expect_replayable(
+      [] { return std::make_unique<sim::BernoulliDemand>(0.25, 11); }, slots);
+  expect_replayable(
+      [] {
+        return std::make_unique<sim::IntervalDemand>(
+            std::vector<sim::IntervalDemand::Interval>{{4, 9}, {40, 64}});
+      },
+      slots);
+  expect_replayable(
+      [] { return std::make_unique<sim::RandomBlocksDemand>(4, 8, 3, 5); },
+      slots);
+}
+
+TEST(DemandProperties, BernoulliFullyRandomAccess) {
+  // Bernoulli documents random access: any slot, any order.
+  std::vector<std::uint64_t> slots = {500, 2, 2, 77, 0, 1000000, 77, 3};
+  expect_replayable(
+      [] { return std::make_unique<sim::BernoulliDemand>(0.6, 21); }, slots);
+}
+
+// --------------------------------------------------------------- edges
+
+TEST(IntervalDemand, HalfOpenBoundaries) {
+  sim::IntervalDemand demand({{10, 20}});
+  EXPECT_FALSE(demand.requests(9));
+  EXPECT_TRUE(demand.requests(10));   // begin is inclusive
+  EXPECT_TRUE(demand.requests(19));   // end-1 is the last active slot
+  EXPECT_FALSE(demand.requests(20));  // end is exclusive
+  EXPECT_FALSE(demand.requests(21));
+}
+
+TEST(IntervalDemand, EmptyAndOverlappingIntervals) {
+  sim::IntervalDemand empty({});
+  for (std::uint64_t t = 0; t < 16; ++t) EXPECT_FALSE(empty.requests(t));
+
+  sim::IntervalDemand overlap({{0, 8}, {4, 12}});
+  for (std::uint64_t t = 0; t < 12; ++t) EXPECT_TRUE(overlap.requests(t));
+  EXPECT_FALSE(overlap.requests(12));
+}
+
+TEST(RandomBlocksDemand, ActiveBlockCountExactPerPeriod) {
+  const std::uint64_t block_slots = 5;
+  const std::uint64_t blocks = 8;
+  const std::uint64_t active = 3;
+  sim::RandomBlocksDemand demand(block_slots, blocks, active, 17);
+  for (std::uint64_t period = 0; period < 6; ++period) {
+    std::uint64_t active_slots = 0;
+    const std::uint64_t base = period * block_slots * blocks;
+    for (std::uint64_t s = 0; s < block_slots * blocks; ++s)
+      if (demand.requests(base + s)) ++active_slots;
+    EXPECT_EQ(active_slots, active * block_slots) << "period " << period;
+  }
+}
+
+TEST(RandomBlocksDemand, WithinPeriodQueriesAreOrderFree) {
+  // The monotonicity contract is on PERIODS; inside one period any slot
+  // order (including re-queries) must agree with the forward scan.
+  sim::RandomBlocksDemand forward(3, 6, 2, 23);
+  std::vector<bool> expected;
+  for (std::uint64_t s = 0; s < 3 * 6; ++s)
+    expected.push_back(forward.requests(s));
+  sim::RandomBlocksDemand backward(3, 6, 2, 23);
+  for (std::uint64_t s = 3 * 6; s-- > 0;) {
+    EXPECT_EQ(backward.requests(s), expected[s]) << "slot " << s;
+    EXPECT_EQ(backward.requests(s), expected[s]) << "re-query " << s;
+  }
+}
+
+TEST(RandomBlocksDemand, PeriodSkipsAreAllowed) {
+  // Jumping forward whole periods (e.g. an engine fast-forwarding through
+  // idle stretches) must not trip the monotone-draw bookkeeping.
+  sim::RandomBlocksDemand demand(2, 4, 2, 31);
+  (void)demand.requests(0);          // period 0
+  (void)demand.requests(3 * 2 * 4);  // period 3, skipping 1-2
+  std::uint64_t active_slots = 0;
+  const std::uint64_t base = 3 * 2 * 4;
+  for (std::uint64_t s = 0; s < 2 * 4; ++s)
+    if (demand.requests(base + s)) ++active_slots;
+  EXPECT_EQ(active_slots, 2u * 2u);
+}
+
+TEST(TraceDemand, ReplaysDeterministicallyUnderSameDeliveries) {
+  sim::WorkloadTrace trace;
+  trace.add({1, 1, 300});
+  trace.add({1, 4, 200});
+  trace.normalize();
+  sim::TraceDemand a(trace, 1);
+  sim::TraceDemand b(trace, 1);
+  for (std::uint64_t slot = 0; slot < 8; ++slot) {
+    const bool first = a.requests(slot);
+    EXPECT_EQ(first, a.requests(slot)) << "idempotence at slot " << slot;
+    EXPECT_EQ(first, b.requests(slot)) << "replay at slot " << slot;
+    EXPECT_DOUBLE_EQ(a.deliver(120.0), b.deliver(120.0)) << "slot " << slot;
+  }
+  EXPECT_TRUE(a.done());
+  EXPECT_TRUE(b.done());
+}
+
+}  // namespace

@@ -2,8 +2,8 @@
 """Condense google-benchmark JSON output into the committed perf baseline.
 
 Usage:
-  bench_to_json.py NATIVE.json [--scalar SCALAR.json] [-o BENCH_kernels.json]
-  bench_to_json.py NATIVE.json [--scalar SCALAR.json] --compare BENCH_kernels.json
+  bench_to_json.py NATIVE.json [--scalar SCALAR.json] [--merge NAME=RUN.json ...] [-o BENCH_kernels.json]
+  bench_to_json.py NATIVE.json [--scalar SCALAR.json] [--merge NAME=RUN.json ...] --compare BENCH_kernels.json
 
 NATIVE.json is a --benchmark_out=json run with the host's dispatched
 kernels; SCALAR.json is the same binary re-run under
@@ -24,6 +24,14 @@ when any benchmark regresses by more than --threshold percent (default
 25) or when any baseline benchmark is missing from the fresh run.  CI
 runs this as a non-blocking step; locally it answers "did my change slow
 the kernels down?" in one command.
+
+Extra benchmark binaries ride along via repeatable --merge NAME=RUN.json
+options: each run is condensed into its own `runs.NAME` section of the
+baseline (bench_baseline passes trace_replay=bench_trace_replay.json for
+the ext_trace_replay suite), and with --compare each is checked against
+the matching baseline section — a section the committed baseline does not
+have yet is reported and skipped, so introducing a new suite does not fail
+CI before its first baseline refresh.
 
 Baselines are only written from release builds of the benchmark binary
 (the binary self-reports via the fairshare_build_type context);
@@ -136,7 +144,7 @@ def compare_runs(run_name, fresh, baseline_entries, threshold_pct):
     return regressed, missing
 
 
-def run_compare(args, native, scalar):
+def run_compare(args, native, scalar, merged):
     baseline = load_run(args.compare)
     runs = baseline.get("runs", {})
     if not runs.get("native"):
@@ -147,6 +155,18 @@ def run_compare(args, native, scalar):
         print()
         more_regressed, more_missing = compare_runs(
             "forced_scalar", scalar, runs["forced_scalar"], args.threshold)
+        regressed += more_regressed
+        missing += more_missing
+    for name, entries in merged.items():
+        print()
+        if not runs.get(name):
+            # First run of a new suite: nothing committed to compare with.
+            print("note: baseline %s has no runs.%s section — skipping "
+                  "(refresh the baseline to start gating it)"
+                  % (args.compare, name))
+            continue
+        more_regressed, more_missing = compare_runs(
+            name, entries, runs[name], args.threshold)
         regressed += more_regressed
         missing += more_missing
     print()
@@ -177,6 +197,11 @@ def main():
     ap.add_argument("native", help="benchmark JSON from the dispatched run")
     ap.add_argument("--scalar", help="benchmark JSON from the "
                     "FAIRSHARE_FORCE_SCALAR_KERNELS=1 run")
+    ap.add_argument("--merge", action="append", default=[],
+                    metavar="NAME=RUN.json",
+                    help="condense an extra benchmark run into runs.NAME "
+                    "(repeatable); with --compare, check it against the "
+                    "baseline's runs.NAME section")
     ap.add_argument("-o", "--output", default="BENCH_kernels.json")
     ap.add_argument("--compare", metavar="BASELINE.json",
                     help="compare against a committed baseline instead of "
@@ -198,8 +223,21 @@ def main():
     if not native:
         sys.exit("no benchmark entries in " + args.native)
 
+    merged = {}
+    for spec in args.merge:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            sys.exit("--merge expects NAME=RUN.json, got %r" % spec)
+        if name in ("native", "forced_scalar") or name in merged:
+            sys.exit("--merge run name %r collides with an existing run"
+                     % name)
+        entries = condense_entries(load_run(path))
+        if not entries:
+            sys.exit("no benchmark entries in " + path)
+        merged[name] = entries
+
     if args.compare:
-        run_compare(args, native, scalar)
+        run_compare(args, native, scalar, merged)
         return
 
     host = host_context(native_doc)
@@ -218,6 +256,7 @@ def main():
     }
     if scalar:
         baseline["runs"]["forced_scalar"] = scalar
+    baseline["runs"].update(merged)
 
     with open(args.output, "w") as fh:
         json.dump(baseline, fh, indent=2, sort_keys=False)

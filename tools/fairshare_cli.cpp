@@ -8,6 +8,18 @@
 //   fairshare_cli info    <info.bin>
 //   fairshare_cli caps    (alias: version)
 //   fairshare_cli stats   <stats.json> [--pid <pid>]
+//   fairshare_cli replay  <poisson|zipf|flash|diurnal|trace.dxt>
+//                 [--mode sim|live|both] [--rate-kbps R] [--slot-seconds S]
+//                 [--users N] [--events N] [--horizon N] [--mean-bytes B]
+//                 [--file-bytes B] [--seed S] [--out report.json] [--dump]
+//
+// replay runs one workload trace — a synthetic generator family or an
+// imported Darshan-DXT-like log — through the slotted simulator
+// (sim::replay_sim), against a live PeerServer over TCP
+// (net::replay_live), or both, and emits the ReplayReport JSON; in both
+// mode the document wraps the two reports plus the sim-vs-live agreement
+// verdict of sim::replay_agrees and the exit status reflects it.  --dump
+// prints the normalized trace text instead of running anything.
 //
 // caps prints the build version, detected CPU features (including the
 // GFNI/AVX-512 bits the wide-field kernels key on), any active
@@ -49,7 +61,10 @@
 #include "gf/row_ops.hpp"
 #include "net/event_loop.hpp"
 #include "net/peer_server.hpp"
+#include "net/replay_driver.hpp"
 #include "p2p/wire.hpp"
+#include "sim/replay.hpp"
+#include "sim/workload.hpp"
 
 #ifndef FAIRSHARE_VERSION
 #define FAIRSHARE_VERSION "dev"
@@ -72,7 +87,13 @@ int usage() {
                " row kernels; alias: version)\n"
                "  fairshare_cli stats <stats.json> [--pid <pid>]"
                "   (pretty-print a registry dump; --pid: SIGUSR1 the\n"
-               "                 process and wait for a fresh dump first)\n");
+               "                 process and wait for a fresh dump first)\n"
+               "  fairshare_cli replay <poisson|zipf|flash|diurnal|trace.dxt>"
+               " [--mode sim|live|both]\n"
+               "                 [--rate-kbps R] [--slot-seconds S]"
+               " [--users N] [--events N] [--horizon N]\n"
+               "                 [--mean-bytes B] [--file-bytes B] [--seed S]"
+               " [--out report.json] [--dump]\n");
   return 2;
 }
 
@@ -108,6 +129,18 @@ struct Options {
   std::size_t m = 1u << 15;
   std::size_t messages = 0;  // 0 = k (one decodable batch)
   long pid = 0;              // stats: signal this process first
+  // replay
+  std::string mode = "sim";
+  double rate_kbps = 4000.0;
+  double slot_seconds = 0.05;
+  std::size_t users = 3;
+  std::size_t events = 24;
+  std::uint64_t horizon = 32;
+  std::uint64_t mean_bytes = 32 * 1024;
+  std::uint64_t file_bytes = 20000;
+  std::uint64_t seed = 1;
+  std::string out_path;
+  bool dump = false;
   std::vector<std::string> positional;
 };
 
@@ -141,6 +174,48 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--pid");
       if (!v) return false;
       opt.pid = std::stol(v);
+    } else if (arg == "--mode") {
+      const char* v = next("--mode");
+      if (!v) return false;
+      opt.mode = v;
+    } else if (arg == "--rate-kbps") {
+      const char* v = next("--rate-kbps");
+      if (!v) return false;
+      opt.rate_kbps = std::stod(v);
+    } else if (arg == "--slot-seconds") {
+      const char* v = next("--slot-seconds");
+      if (!v) return false;
+      opt.slot_seconds = std::stod(v);
+    } else if (arg == "--users") {
+      const char* v = next("--users");
+      if (!v) return false;
+      opt.users = std::stoull(v);
+    } else if (arg == "--events") {
+      const char* v = next("--events");
+      if (!v) return false;
+      opt.events = std::stoull(v);
+    } else if (arg == "--horizon") {
+      const char* v = next("--horizon");
+      if (!v) return false;
+      opt.horizon = std::stoull(v);
+    } else if (arg == "--mean-bytes") {
+      const char* v = next("--mean-bytes");
+      if (!v) return false;
+      opt.mean_bytes = std::stoull(v);
+    } else if (arg == "--file-bytes") {
+      const char* v = next("--file-bytes");
+      if (!v) return false;
+      opt.file_bytes = std::stoull(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      opt.seed = std::stoull(v);
+    } else if (arg == "--out") {
+      const char* v = next("--out");
+      if (!v) return false;
+      opt.out_path = v;
+    } else if (arg == "--dump") {
+      opt.dump = true;
     } else {
       opt.positional.push_back(arg);
     }
@@ -451,6 +526,132 @@ int cmd_stats(const Options& opt) {
   return 0;
 }
 
+// ----------------------------------------------------------------- replay
+
+std::optional<sim::WorkloadTrace> replay_trace(const Options& opt,
+                                               const std::string& source) {
+  if (source == "poisson") {
+    sim::PoissonConfig config;
+    config.users = opt.users;
+    config.horizon = opt.horizon;
+    config.mean_bytes = opt.mean_bytes;
+    config.seed = opt.seed;
+    return sim::poisson_trace(config);
+  }
+  if (source == "zipf") {
+    sim::ZipfConfig config;
+    config.users = opt.users;
+    config.horizon = opt.horizon;
+    config.events = opt.events;
+    config.mean_bytes = opt.mean_bytes;
+    config.seed = opt.seed;
+    return sim::zipf_trace(config);
+  }
+  if (source == "flash") {
+    sim::FlashCrowdConfig config;
+    config.users = opt.users;
+    config.horizon = opt.horizon;
+    config.mean_bytes = opt.mean_bytes;
+    config.seed = opt.seed;
+    return sim::flash_crowd_trace(config);
+  }
+  if (source == "diurnal") {
+    sim::DiurnalConfig config;
+    config.users = opt.users;
+    config.horizon = opt.horizon;
+    config.mean_bytes = opt.mean_bytes;
+    config.seed = opt.seed;
+    return sim::diurnal_trace(config);
+  }
+  std::string error;
+  sim::DxtStats stats;
+  auto trace =
+      sim::load_dxt_file(source, opt.slot_seconds, &error, &stats);
+  if (!trace) {
+    std::fprintf(stderr, "cannot import %s: %s\n", source.c_str(),
+                 error.c_str());
+    return std::nullopt;
+  }
+  std::fprintf(stderr,
+               "imported %zu events from %s (%zu zero-length dropped%s)\n",
+               stats.events, source.c_str(), stats.skipped_zero,
+               stats.reordered ? ", input reordered" : "");
+  return trace;
+}
+
+int cmd_replay(const Options& opt) {
+  if (opt.positional.size() != 1) return usage();
+  const auto trace = replay_trace(opt, opt.positional[0]);
+  if (!trace) return 1;
+  if (opt.dump) {
+    std::fputs(sim::to_text(*trace).c_str(), stdout);
+    return 0;
+  }
+  if (opt.mode != "sim" && opt.mode != "live" && opt.mode != "both") {
+    std::fprintf(stderr, "unknown --mode %s\n", opt.mode.c_str());
+    return usage();
+  }
+
+  // 1 KiB coded messages keep per-file decode cost trivial at replay sizes.
+  const coding::CodingParams params{gf::FieldId::gf2_32, 256};
+  coding::FileInfo shape;
+  shape.original_bytes = opt.file_bytes;
+  shape.params = params;
+  shape.k = coding::chunks_for_bytes(opt.file_bytes, params);
+  const double overhead = net::wire_overhead_factor(shape);
+
+  std::optional<sim::ReplayReport> sim_report;
+  std::optional<sim::ReplayReport> live_report;
+  if (opt.mode == "sim" || opt.mode == "both") {
+    sim::SimReplayConfig config;
+    config.rate_kbps = opt.rate_kbps;
+    config.slot_seconds = opt.slot_seconds;
+    config.quantize_bytes = opt.file_bytes;
+    config.wire_overhead = overhead;
+    sim_report = sim::replay_sim(*trace, config);
+  }
+  if (opt.mode == "live" || opt.mode == "both") {
+    net::LiveReplayConfig config;
+    config.rate_kbps = opt.rate_kbps;
+    config.slot_seconds = opt.slot_seconds;
+    config.rng_seed = opt.seed;
+    live_report = net::replay_live(*trace, opt.file_bytes, params, config);
+  }
+
+  std::string body;
+  int status = 0;
+  if (opt.mode == "both") {
+    std::string why;
+    const bool agrees = sim::replay_agrees(*sim_report, *live_report,
+                                           sim::AgreementOptions{}, &why);
+    std::ostringstream doc;
+    doc << "{\n\"sim\": " << sim::to_json(*sim_report);
+    doc << ",\n\"live\": " << sim::to_json(*live_report);
+    doc << ",\n\"agrees\": " << (agrees ? "true" : "false");
+    doc << ",\n\"why\": \"" << why << "\"\n}\n";
+    body = doc.str();
+    if (!agrees) {
+      std::fprintf(stderr, "sim and live disagree: %s\n", why.c_str());
+      status = 1;
+    }
+  } else {
+    body = sim::to_json(sim_report ? *sim_report : *live_report);
+  }
+
+  if (opt.out_path.empty()) {
+    std::fputs(body.c_str(), stdout);
+  } else {
+    std::ofstream out(opt.out_path, std::ios::trunc);
+    out << body;
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", opt.out_path.c_str());
+  }
+  return status;
+}
+
 int cmd_caps() {
   const gf::CpuFeatures feat = gf::cpu_features();
   std::printf("fairshare %s\n", FAIRSHARE_VERSION);
@@ -488,5 +689,6 @@ int main(int argc, char** argv) {
   if (cmd == "info") return cmd_info(opt);
   if (cmd == "caps" || cmd == "version") return cmd_caps();
   if (cmd == "stats") return cmd_stats(opt);
+  if (cmd == "replay") return cmd_replay(opt);
   return usage();
 }
