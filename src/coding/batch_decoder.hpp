@@ -40,6 +40,11 @@ class BatchDecoder {
   /// Run the inversion + multiply.  Returns the file bytes, or nullopt if
   /// the buffered coefficient sub-matrix is singular (caller should fetch
   /// more messages and retry; over large q this is vanishingly rare).
+  ///
+  /// Chunked files (FileInfo::codec == CodecKind::chunked) have no global
+  /// k x k system to invert; decode() instead feeds the buffer through a
+  /// chunked::Decoder's per-class elimination, with the same
+  /// nullopt-means-fetch-more contract when some class is still short.
   std::optional<std::vector<std::byte>> decode();
 
   /// Report into `registry`: a buffered-message gauge
@@ -50,6 +55,7 @@ class BatchDecoder {
 
  private:
   FileInfo info_;
+  SecretKey secret_;  // chunked decode builds its decoder lazily
   bool require_digests_;
   CoefficientGenerator coeffs_;
   std::vector<EncodedMessage> messages_;

@@ -1,0 +1,80 @@
+#include "coding/codec.hpp"
+
+namespace fairshare::coding {
+
+namespace {
+
+std::variant<FileDecoder, chunked::Decoder> make_impl(
+    const SecretKey& secret, const FileInfo& info, bool require_digests) {
+  if (info.codec == CodecKind::chunked)
+    return std::variant<FileDecoder, chunked::Decoder>(
+        std::in_place_type<chunked::Decoder>, secret, info, require_digests);
+  return std::variant<FileDecoder, chunked::Decoder>(
+      std::in_place_type<FileDecoder>, secret, info, require_digests);
+}
+
+}  // namespace
+
+CodecDecoder::CodecDecoder(const SecretKey& secret, const FileInfo& info,
+                           bool require_digests)
+    : kind_(info.codec), impl_(make_impl(secret, info, require_digests)) {}
+
+AddResult CodecDecoder::add(const EncodedMessage& message) {
+  return std::visit([&](auto& d) { return d.add(message); }, impl_);
+}
+
+AddResult CodecDecoder::add_recoded(const RecodedMessage& message) {
+  return std::visit([&](auto& d) { return d.add_recoded(message); }, impl_);
+}
+
+void CodecDecoder::add_digest(std::uint64_t message_id,
+                              const crypto::Md5Digest& digest) {
+  std::visit([&](auto& d) { d.add_digest(message_id, digest); }, impl_);
+}
+
+void CodecDecoder::set_thread_pool(util::ThreadPool* pool) {
+  std::visit([&](auto& d) { d.set_thread_pool(pool); }, impl_);
+}
+
+void CodecDecoder::enable_metrics(obs::MetricsRegistry& registry,
+                                  std::uint64_t user_id) {
+  std::visit([&](auto& d) { d.enable_metrics(registry, user_id); }, impl_);
+}
+
+bool CodecDecoder::complete() const {
+  return std::visit([](const auto& d) { return d.complete(); }, impl_);
+}
+
+std::size_t CodecDecoder::rank() const {
+  return std::visit([](const auto& d) { return d.rank(); }, impl_);
+}
+
+std::size_t CodecDecoder::k() const {
+  return std::visit([](const auto& d) { return d.k(); }, impl_);
+}
+
+std::size_t CodecDecoder::accepted() const {
+  return std::visit([](const auto& d) { return d.accepted(); }, impl_);
+}
+
+std::size_t CodecDecoder::rejected_auth() const {
+  return std::visit([](const auto& d) { return d.rejected_auth(); }, impl_);
+}
+
+std::size_t CodecDecoder::non_innovative() const {
+  return std::visit([](const auto& d) { return d.non_innovative(); }, impl_);
+}
+
+std::vector<std::byte> CodecDecoder::reconstruct() const {
+  return std::visit([](const auto& d) { return d.reconstruct(); }, impl_);
+}
+
+chunked::Decoder* CodecDecoder::chunked_decoder() {
+  return std::get_if<chunked::Decoder>(&impl_);
+}
+
+const chunked::Decoder* CodecDecoder::chunked_decoder() const {
+  return std::get_if<chunked::Decoder>(&impl_);
+}
+
+}  // namespace fairshare::coding

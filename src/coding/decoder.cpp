@@ -51,8 +51,11 @@ AddResult FileDecoder::add(const EncodedMessage& message) {
 
 void FileDecoder::enable_metrics(obs::MetricsRegistry& registry,
                                  std::uint64_t user_id) {
+  // The codec label splits dense and chunked (chunked.hpp) decode series
+  // apart in one registry; exporters see two time series per (file, user).
   const obs::LabelList labels = {{"file", std::to_string(info_.file_id)},
-                                 {"user", std::to_string(user_id)}};
+                                 {"user", std::to_string(user_id)},
+                                 {"codec", "dense"}};
   rank_gauge_ = &registry.gauge("fairshare_decoder_rank", labels);
   eliminate_ns_ = &registry.histogram("fairshare_decoder_eliminate_ns", labels);
   rank_gauge_->set(static_cast<double>(solver_.rank()));

@@ -52,6 +52,14 @@ struct FileInfo {
   std::uint64_t original_bytes = 0;  ///< unpadded file length
   CodingParams params;
   std::size_t k = 0;  ///< chunks (decoding needs k innovative messages)
+  /// Which codec generated the messages (selects FileDecoder vs
+  /// chunked::Decoder at the receiving end; peers forward either verbatim).
+  /// On the wire this travels as a versioned trailer whose absence means
+  /// dense, so pre-chunked metadata still decodes.
+  CodecKind codec = CodecKind::dense;
+  /// Class geometry + schedule seed; meaningful only when codec ==
+  /// CodecKind::chunked.
+  ChunkedSchedule schedule;
   /// MD5 of the plain file contents; lets a decoder double-check its
   /// reconstruction and lets the update planner (update.hpp) detect which
   /// 1 MB units of a modified file actually changed.

@@ -4,6 +4,14 @@
 
 namespace fairshare::coding {
 
+const char* to_string(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::dense: return "dense";
+    case CodecKind::chunked: return "chunked";
+  }
+  return "unknown";
+}
+
 std::size_t CodingParams::message_bytes() const {
   return gf::field_view(field).row_bytes(m);
 }

@@ -13,6 +13,39 @@
 
 namespace fairshare::coding {
 
+/// Which codec produced a file's messages.  `dense` is the paper's
+/// original full-width RLNC (every coefficient row spans all k chunks);
+/// `chunked` is the overlapping-class codec of coding/chunked.hpp, whose
+/// rows are nonzero only inside one small chunk class so decode cost stays
+/// near-linear in file size.  Serialized on the wire as a versioned
+/// FileInfo trailer with a dense default, so metadata written before this
+/// field existed still decodes (p2p/wire.cpp).
+enum class CodecKind : std::uint8_t {
+  dense = 0,
+  chunked = 1,
+};
+
+const char* to_string(CodecKind kind);
+
+/// Public geometry of the chunked codec's class structure.  Classes are
+/// windows of `class_size` consecutive chunks advancing by
+/// `class_size - overlap`, so adjacent classes share `overlap` chunks;
+/// `seed` fixes the message-id -> class schedule (chunked::ClassMap).
+/// Everything here is public — peers and recoders need it to group
+/// messages by class — while the coefficient values inside a class stay
+/// derived from the secret key exactly as in the dense codec.
+struct ChunkedSchedule {
+  std::uint32_t class_size = 64;  ///< chunks per class
+  std::uint32_t overlap = 8;      ///< chunks shared with the previous class
+  std::uint64_t seed = 0;         ///< class-schedule interleave seed
+
+  /// A usable geometry: at least two chunks per class and a strictly
+  /// positive stride (overlap < class_size).
+  bool valid() const { return class_size >= 2 && overlap < class_size; }
+
+  bool operator==(const ChunkedSchedule&) const = default;
+};
+
 /// Field and message-length choice for one encoded file.
 struct CodingParams {
   gf::FieldId field = gf::FieldId::gf2_32;  ///< q = 2^p

@@ -6,12 +6,6 @@ namespace fairshare::linalg {
 
 namespace {
 
-// The SIMD row kernels chew through symbols an order of magnitude faster
-// than the old table loops, so fan-out pays off much later: every worker
-// must get at least this many symbols or the wake/join overhead dominates
-// the kernel time it saves.
-constexpr std::size_t kMinChunkSymbols = 16384;
-
 // Segment length covering n symbols in at most `jobs` pieces.  Boundaries
 // are rounded up to a whole 64-byte block of the packed row so (a) GF(2^4)
 // nibble pairs never straddle a split and (b) every non-final segment is a

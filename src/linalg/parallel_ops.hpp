@@ -12,6 +12,14 @@
 
 namespace fairshare::linalg {
 
+/// Minimum symbols of row work a worker must receive before fan-out pays:
+/// the SIMD kernels chew through symbols an order of magnitude faster than
+/// the old table loops, so below this the wake/join overhead dominates the
+/// kernel time it saves.  Shared with coding/chunked.cpp, which applies the
+/// same floor to per-class elimination batches before handing classes to
+/// the pool.
+constexpr std::size_t kMinChunkSymbols = 16384;
+
 /// dst ^= c * src over n symbols, fanned out over `pool` (nullptr or small
 /// n falls back to the serial kernel).  Fan-out only happens when every
 /// worker gets a large minimum chunk (the SIMD kernels are fast enough

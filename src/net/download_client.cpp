@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "coding/codec.hpp"
 #include "crypto/auth.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/sha256.hpp"
@@ -92,7 +93,9 @@ DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
     instruments.push_back(
         make_instruments(registry, options.user_id, peer.peer_id));
   obs::TraceSpan download_span(&registry.spans(), "client.download");
-  coding::FileDecoder decoder(secret, info);
+  // Codec selected per FileInfo: dense files get the progressive solver,
+  // chunked files the per-class decoder; the download loop is identical.
+  coding::CodecDecoder decoder(secret, info);
   decoder.enable_metrics(registry, options.user_id);
   std::mutex decoder_mutex;
   std::atomic<bool> done{false};

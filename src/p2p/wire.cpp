@@ -234,6 +234,16 @@ std::vector<std::byte> encode(const coding::FileInfo& info) {
     w.put_u64(mid);
     w.put_bytes(std::span<const std::uint8_t>(digest));
   }
+  // Versioned codec trailer: only emitted for non-dense codecs, so frames
+  // from dense files are byte-identical to the pre-codec format and old
+  // clients keep decoding them.  New clients treat a frame ending at the
+  // digest table as dense (decode_file_info below).
+  if (info.codec != coding::CodecKind::dense) {
+    w.put_u8(static_cast<std::uint8_t>(info.codec));
+    w.put_u32(info.schedule.class_size);
+    w.put_u32(info.schedule.overlap);
+    w.put_u64(info.schedule.seed);
+  }
   return w.take();
 }
 
@@ -353,7 +363,15 @@ std::optional<coding::FileInfo> decode_file_info(
     if (!r.get_bytes(digest)) return std::nullopt;
     info.message_digests.emplace(mid, digest);
   }
-  if (!r.at_end()) return std::nullopt;
+  if (r.at_end()) return info;  // pre-codec frame: dense by default
+  const std::uint8_t codec = r.get_u8();
+  if (codec != static_cast<std::uint8_t>(coding::CodecKind::chunked))
+    return std::nullopt;  // dense never writes a trailer; unknown = reject
+  info.codec = coding::CodecKind::chunked;
+  info.schedule.class_size = r.get_u32();
+  info.schedule.overlap = r.get_u32();
+  info.schedule.seed = r.get_u64();
+  if (!r.ok() || !r.at_end() || !info.schedule.valid()) return std::nullopt;
   return info;
 }
 

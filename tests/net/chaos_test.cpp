@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "coding/chunked.hpp"
 #include "coding/encoder.hpp"
 #include "net/download_client.hpp"
 #include "net/fault_transport.hpp"
@@ -210,6 +211,89 @@ TEST(NetChaos, FailsCleanlyAndPromptlyWhenSurvivorsHoldLessThanK) {
   // attempts fell out as non-innovative.
   EXPECT_EQ(report.per_peer[1].messages_accepted, k - 2);
   short_peer.stop();
+}
+
+// ---------------------------------------------------- chunked resume
+// Satellite (chunked codec PR): a mid-stream reset during a chunked
+// download is retried and the decode *resumes* — per-class solver state
+// survives across sessions, replayed messages fall out as non-innovative,
+// and the cascade still completes every class for every fault seed.
+
+TEST(NetChaos, ChunkedDownloadResumesAcrossMidStreamResets) {
+  coding::SecretKey secret{};
+  secret[0] = 88;
+  const auto data = blob(100000, 4321);
+  const coding::CodingParams params{gf::FieldId::gf2_32, 256};  // 1 KiB
+  coding::ChunkedSchedule schedule;
+  schedule.class_size = 16;
+  schedule.overlap = 4;
+  schedule.seed = 5;
+  coding::chunked::Encoder encoder(secret, 42, data, params, schedule);
+  const std::size_t k = encoder.k();
+  const auto pool = encoder.generate(k);
+  ASSERT_GT(encoder.class_map().classes(), 2u);
+
+  for (int iter = 0; iter < kIters; ++iter) {
+    const std::uint64_t seed = 0xC4UL + 1000u * static_cast<unsigned>(iter);
+    std::vector<FaultPlan> plans(3);
+    // Peer 0 dies mid-stream on every attempt (the request frame plus
+    // roughly half the coded messages fit the budget); peer 1 corrupts;
+    // peer 2 is healthy, so the swarm jointly always covers the file.
+    plans[0].seed = seed;
+    plans[0].reset_after_frames = 1 + k / 2;
+    plans[1].seed = seed + 1;
+    plans[1].corrupt_rate = 0.10;
+
+    std::vector<std::unique_ptr<PeerServer>> servers;
+    std::vector<PeerEndpoint> endpoints;
+    std::vector<std::unique_ptr<FaultInjector>> injectors;
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      p2p::MessageStore store;
+      for (const auto& m : pool) store.store(coding::EncodedMessage(m));
+      PeerServer::Config config;
+      config.peer_id = p;
+      config.require_auth = false;
+      config.rng_seed = 200 + p;
+      config.handshake_timeout_ms = 300;
+      auto server = std::make_unique<PeerServer>(config, std::move(store));
+      ASSERT_TRUE(server->start());
+      PeerEndpoint ep;
+      ep.port = server->port();
+      ep.peer_id = p;
+      endpoints.push_back(ep);
+      servers.push_back(std::move(server));
+      injectors.push_back(std::make_unique<FaultInjector>(plans[p]));
+    }
+
+    DownloadOptions options;
+    options.user_id = 9;
+    options.rng_seed = seed;
+    options.retry = RetryPolicy{/*max_attempts=*/4, /*base_ms=*/2,
+                                /*max_ms=*/20};
+    options.transport_factory =
+        [&](const PeerEndpoint& ep) -> std::unique_ptr<Transport> {
+      FaultInjector& injector = *injectors[ep.peer_id];
+      if (!injector.admits_connection()) return nullptr;
+      auto socket = Socket::connect_to(ep.host, ep.port);
+      if (!socket) return nullptr;
+      return injector.wrap(std::make_unique<Socket>(std::move(*socket)));
+    };
+    const DownloadReport report =
+        download_file(endpoints, secret, encoder.info(), options);
+
+    ASSERT_TRUE(report.success) << "seed " << seed;
+    EXPECT_EQ(report.data, data) << "seed " << seed;
+    assert_counter_partition(report, plans.size());
+    // The reset demonstrably interrupted a chunked stream mid-flight...
+    EXPECT_GE(injectors[0]->stats().connections_reset, 1u);
+    // ...yet no message was double-counted: the pool holds k distinct
+    // messages, and replays across retried sessions fall out as
+    // non-innovative (donation races can complete a class early, so the
+    // exact count depends on interleaving — the bound does not).
+    EXPECT_LE(report.messages_accepted, k);
+    EXPECT_GE(report.messages_accepted, k / 2);
+    for (auto& s : servers) s->stop();
+  }
 }
 
 // ------------------------------------------------- counter partition

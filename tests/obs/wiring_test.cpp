@@ -255,7 +255,8 @@ TEST(ObsWiring, DecoderMetricsTrackRankAndEliminations) {
   }
   ASSERT_TRUE(decoder.complete());
   const obs::LabelList labels = {{"file", std::to_string(kFileId)},
-                                 {"user", "4"}};
+                                 {"user", "4"},
+                                 {"codec", "dense"}};
   EXPECT_EQ(registry.gauge("fairshare_decoder_rank", labels).value(),
             static_cast<double>(decoder.rank()));
   // One elimination per add that reached the solver; adds arriving after

@@ -169,6 +169,89 @@ TEST(Wire, FileInfoRoundTrip) {
   EXPECT_EQ(back->message_digests, info.message_digests);
 }
 
+TEST(Wire, ChunkedFileInfoRoundTrip) {
+  auto info = sample_info();
+  info.codec = coding::CodecKind::chunked;
+  info.schedule.class_size = 48;
+  info.schedule.overlap = 6;
+  info.schedule.seed = 0x1122334455667788ull;
+  const auto back = decode_file_info(encode(info));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->codec, coding::CodecKind::chunked);
+  EXPECT_EQ(back->schedule, info.schedule);
+  EXPECT_EQ(back->message_digests, info.message_digests);
+}
+
+TEST(Wire, DenseFileInfoCarriesNoCodecTrailer) {
+  // Dense metadata must stay byte-identical to the pre-codec wire format
+  // (old clients keep working); the chunked trailer costs exactly
+  // 1 (codec) + 4 (class_size) + 4 (overlap) + 8 (seed) bytes.
+  auto info = sample_info();
+  const auto dense_frame = encode(info);
+  info.codec = coding::CodecKind::chunked;
+  const auto chunked_frame = encode(info);
+  EXPECT_EQ(chunked_frame.size(), dense_frame.size() + 17);
+
+  const auto back = decode_file_info(dense_frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->codec, coding::CodecKind::dense);
+  EXPECT_EQ(back->schedule, coding::ChunkedSchedule{});
+}
+
+TEST(Wire, PreCodecFileInfoDecodesAsDense) {
+  // A chunked frame cut exactly at the trailer boundary is what an
+  // old-format dense frame looks like: it must parse, as dense.  (Any
+  // other cut inside the trailer is rejected by the truncation sweep.)
+  auto info = sample_info();
+  info.codec = coding::CodecKind::chunked;
+  auto frame = encode(info);
+  frame.resize(frame.size() - 17);
+  const auto back = decode_file_info(frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->codec, coding::CodecKind::dense);
+  EXPECT_EQ(back->k, info.k);
+}
+
+TEST(Wire, UnknownCodecAndInvalidScheduleRejected) {
+  auto info = sample_info();
+  info.codec = coding::CodecKind::chunked;
+  info.schedule.class_size = 48;
+  info.schedule.overlap = 6;
+  auto frame = encode(info);
+  ASSERT_TRUE(decode_file_info(frame).has_value());
+
+  // The codec byte is the first trailer byte; 2 is from the future.
+  auto future = frame;
+  future[future.size() - 17] = std::byte{2};
+  EXPECT_FALSE(decode_file_info(future).has_value());
+
+  // overlap >= class_size is geometrically unusable.
+  auto degenerate = sample_info();
+  degenerate.codec = coding::CodecKind::chunked;
+  degenerate.schedule.class_size = 8;
+  degenerate.schedule.overlap = 8;
+  EXPECT_FALSE(decode_file_info(encode(degenerate)).has_value());
+}
+
+TEST(Wire, ChunkedFileInfoTruncationsRejectedOrDense) {
+  // The full truncation sweep for a chunked frame, acknowledging the one
+  // deliberate exception: cutting the whole trailer yields a valid dense
+  // parse (that IS the backward-compatibility contract).
+  auto info = sample_info();
+  info.codec = coding::CodecKind::chunked;
+  const auto frame = encode(info);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const std::span<const std::byte> cut(frame.data(), len);
+    const auto parsed = decode_file_info(cut);
+    if (len == frame.size() - 17) {
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->codec, coding::CodecKind::dense);
+    } else {
+      EXPECT_FALSE(parsed.has_value()) << "truncation to " << len;
+    }
+  }
+}
+
 TEST(Wire, CrossTypeDecodingRejected) {
   const auto hello = encode(sample_hello());
   EXPECT_FALSE(decode_auth_challenge(hello).has_value());

@@ -55,6 +55,8 @@
 #include <signal.h>
 #endif
 
+#include "coding/chunked.hpp"
+#include "coding/codec.hpp"
 #include "coding/decoder.hpp"
 #include "coding/encoder.hpp"
 #include "crypto/sha256.hpp"
@@ -80,6 +82,8 @@ int usage() {
                "usage:\n"
                "  fairshare_cli encode <input> <out-dir> --secret <pass>"
                " [--field 4|8|16|32] [--m N] [--messages N]\n"
+               "                 [--codec dense|chunked] [--class-size N]"
+               " [--overlap N] [--schedule-seed S]\n"
                "  fairshare_cli decode <info.bin> <out-file> --secret <pass>"
                " <message files...>\n"
                "  fairshare_cli info <info.bin>\n"
@@ -128,6 +132,8 @@ struct Options {
   unsigned field_bits = 32;
   std::size_t m = 1u << 15;
   std::size_t messages = 0;  // 0 = k (one decodable batch)
+  std::string codec = "dense";
+  coding::ChunkedSchedule schedule;  // encode --codec chunked geometry
   long pid = 0;              // stats: signal this process first
   // replay
   std::string mode = "sim";
@@ -170,6 +176,22 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--messages");
       if (!v) return false;
       opt.messages = std::stoull(v);
+    } else if (arg == "--codec") {
+      const char* v = next("--codec");
+      if (!v) return false;
+      opt.codec = v;
+    } else if (arg == "--class-size") {
+      const char* v = next("--class-size");
+      if (!v) return false;
+      opt.schedule.class_size = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--overlap") {
+      const char* v = next("--overlap");
+      if (!v) return false;
+      opt.schedule.overlap = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--schedule-seed") {
+      const char* v = next("--schedule-seed");
+      if (!v) return false;
+      opt.schedule.seed = std::stoull(v);
     } else if (arg == "--pid") {
       const char* v = next("--pid");
       if (!v) return false;
@@ -242,11 +264,32 @@ int cmd_encode(const Options& opt) {
   std::error_code ec;
   fs::create_directories(out_dir, ec);
 
+  if (opt.codec != "dense" && opt.codec != "chunked") {
+    std::fprintf(stderr, "unknown --codec %s\n", opt.codec.c_str());
+    return 1;
+  }
+  if (opt.codec == "chunked" && !opt.schedule.valid()) {
+    std::fprintf(stderr,
+                 "invalid schedule: need --class-size >= 2 and --overlap < "
+                 "--class-size\n");
+    return 1;
+  }
+
   const coding::CodingParams params{field, opt.m};
-  coding::FileEncoder encoder(secret_from_passphrase(opt.secret),
-                              /*file_id=*/1, data, params);
-  const std::size_t count = opt.messages ? opt.messages : encoder.k();
-  const auto messages = encoder.generate(count);
+  const coding::SecretKey secret = secret_from_passphrase(opt.secret);
+  // Both encoders share one deterministic interface; only construction and
+  // the class geometry differ.
+  std::optional<coding::FileEncoder> dense;
+  std::optional<coding::chunked::Encoder> chunked;
+  if (opt.codec == "chunked")
+    chunked.emplace(secret, /*file_id=*/1, data, params, opt.schedule);
+  else
+    dense.emplace(secret, /*file_id=*/1, data, params);
+  const std::size_t k = chunked ? chunked->k() : dense->k();
+  const std::size_t count = opt.messages ? opt.messages : k;
+  const auto messages =
+      chunked ? chunked->generate(count) : dense->generate(count);
+  const coding::FileInfo& info = chunked ? chunked->info() : dense->info();
   for (const auto& msg : messages) {
     const fs::path path =
         out_dir / ("msg_" + std::to_string(msg.message_id) + ".bin");
@@ -256,16 +299,15 @@ int cmd_encode(const Options& opt) {
     }
   }
   const fs::path info_path = out_dir / "info.bin";
-  if (!write_file(info_path, p2p::wire::encode(encoder.info()))) {
+  if (!write_file(info_path, p2p::wire::encode(info))) {
     std::fprintf(stderr, "cannot write %s\n", info_path.string().c_str());
     return 1;
   }
-  std::printf("encoded %zu bytes: k=%zu over %s, m=%zu -> %zu messages of "
-              "%zu bytes + info.bin (%zu digest bytes)\n",
-              data.size(), encoder.k(),
-              std::string(gf::field_name(field)).c_str(), opt.m,
-              messages.size(), messages[0].wire_size(),
-              encoder.info().digest_bytes());
+  std::printf("encoded %zu bytes: k=%zu over %s, m=%zu, codec=%s -> %zu "
+              "messages of %zu bytes + info.bin (%zu digest bytes)\n",
+              data.size(), k, std::string(gf::field_name(field)).c_str(),
+              opt.m, coding::to_string(info.codec), messages.size(),
+              messages[0].wire_size(), info.digest_bytes());
   return 0;
 }
 
@@ -286,7 +328,7 @@ int cmd_decode(const Options& opt) {
     return 1;
   }
 
-  coding::FileDecoder decoder(secret_from_passphrase(opt.secret), *info);
+  coding::CodecDecoder decoder(secret_from_passphrase(opt.secret), *info);
   std::size_t rejected = 0;
   for (std::size_t i = 2; i < opt.positional.size() && !decoder.complete();
        ++i) {
@@ -350,6 +392,15 @@ int cmd_info(const Options& opt) {
               std::string(gf::field_name(info->params.field)).c_str());
   std::printf("m (symbols/msg): %zu\n", info->params.m);
   std::printf("k (msgs needed): %zu\n", info->k);
+  std::printf("codec          : %s\n", coding::to_string(info->codec));
+  if (info->codec == coding::CodecKind::chunked) {
+    const coding::chunked::ClassMap map(info->k, info->schedule);
+    std::printf("class schedule : size=%u overlap=%u seed=%llu -> %zu "
+                "classes\n",
+                info->schedule.class_size, info->schedule.overlap,
+                static_cast<unsigned long long>(info->schedule.seed),
+                map.classes());
+  }
   std::printf("message bytes  : %zu\n", info->params.message_bytes());
   std::printf("known digests  : %zu (%zu bytes)\n",
               info->message_digests.size(), info->digest_bytes());
@@ -674,6 +725,10 @@ int cmd_caps() {
               net::epoll_available() ? "available" : "unavailable");
   std::printf("net backend    : %s (FAIRSHARE_NET_BACKEND overrides)\n",
               net::to_string(net::default_net_backend()));
+  std::printf("codecs         : dense chunked (chunked default geometry: "
+              "class-size=%u overlap=%u)\n",
+              coding::ChunkedSchedule{}.class_size,
+              coding::ChunkedSchedule{}.overlap);
   return 0;
 }
 
