@@ -1,0 +1,56 @@
+#include "alloc/federated_ledger.hpp"
+
+#include <cmath>
+
+namespace fairshare::alloc {
+
+bool FederatedLedger::record(std::uint64_t user_id, std::uint64_t origin,
+                             double total) {
+  if (!std::isfinite(total) || total < 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  double& slot = totals_[{user_id, origin}];
+  if (total <= slot) return false;
+  slot = total;
+  return true;
+}
+
+std::size_t FederatedLedger::merge(const std::vector<Entry>& entries) {
+  std::size_t grew = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries) {
+    if (!std::isfinite(e.total) || e.total < 0.0) continue;
+    double& slot = totals_[{e.user_id, e.origin}];
+    if (e.total > slot) {
+      slot = e.total;
+      ++grew;
+    }
+  }
+  return grew;
+}
+
+std::vector<FederatedLedger::Entry> FederatedLedger::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(totals_.size());
+  for (const auto& [key, total] : totals_)
+    out.push_back({key.first, key.second, total});
+  return out;
+}
+
+double FederatedLedger::swarm_total(std::uint64_t user_id,
+                                    std::uint64_t exclude_origin) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double sum = 0.0;
+  // Entries for one user are contiguous under (user, origin) ordering.
+  for (auto it = totals_.lower_bound({user_id, 0});
+       it != totals_.end() && it->first.first == user_id; ++it)
+    if (it->first.second != exclude_origin) sum += it->second;
+  return sum;
+}
+
+std::size_t FederatedLedger::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_.size();
+}
+
+}  // namespace fairshare::alloc

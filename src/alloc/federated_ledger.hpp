@@ -1,0 +1,68 @@
+// Swarm-wide contribution ledger: the CRDT underneath federation.
+//
+// Each server measures per-user contribution locally (bytes it served on
+// the user's behalf — the same quantity Eq. (2)'s ledger S accumulates).
+// Federation exchanges those measurements so a user who contributed on
+// server A keeps its standing when it downloads from server B.  The
+// exchanged state is a grow-only map keyed by (user, origin-server) whose
+// values are cumulative byte totals:
+//
+//   * each origin only ever writes its own (user, self) entries, and only
+//     monotonically (totals are cumulative);
+//   * merge takes max per key, so the map is a join-semilattice: merges
+//     are idempotent, commutative, and associative — gossip can duplicate,
+//     reorder, or cross messages and every replica still converges to the
+//     per-key maximum, which is the per-origin truth;
+//   * a user's swarm-wide contribution is the sum over origins, optionally
+//     excluding one origin (a server excludes itself: its own measurement
+//     already flows into its policy through the ordinary feedback path).
+//
+// Thread safety: all methods are internally synchronized — the gossip
+// thread, the serving path's pacing tick, and status probes all touch one
+// ledger concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace fairshare::alloc {
+
+class FederatedLedger {
+ public:
+  /// One (user, origin) total, as gossiped on the wire.
+  struct Entry {
+    std::uint64_t user_id = 0;
+    std::uint64_t origin = 0;  ///< peer id of the measuring server
+    double total = 0.0;        ///< cumulative contribution (bytes)
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// Record a local measurement: keeps max(current, total), so replayed
+  /// or stale publishes are harmless.  Returns true when the entry grew.
+  bool record(std::uint64_t user_id, std::uint64_t origin, double total);
+
+  /// CRDT max-merge of remote entries; returns how many entries grew
+  /// (new keys count).  Non-finite or negative totals are dropped — wire
+  /// input must not poison the allocation arithmetic.
+  std::size_t merge(const std::vector<Entry>& entries);
+
+  /// Every entry, sorted by (user, origin) — the gossip payload.
+  std::vector<Entry> snapshot() const;
+
+  /// Sum of a user's totals across origins, excluding `exclude_origin`
+  /// (a server passes its own id so locally-measured contribution is not
+  /// double-counted against its feedback path).
+  double swarm_total(std::uint64_t user_id,
+                     std::uint64_t exclude_origin) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> totals_;
+};
+
+}  // namespace fairshare::alloc

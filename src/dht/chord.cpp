@@ -66,6 +66,24 @@ void ChordRing::rebuild() {
   }
 }
 
+RouteStep ChordRing::route_step(RingId key, RingId self) const {
+  assert(contains(self));
+  const auto& table = finger_.at(self);
+  const RingId next_node = table[0];  // immediate successor
+  if (in_interval(key, self, next_node)) return {true, next_node};
+  // Closest preceding finger of `key`.
+  RingId forward = self;
+  for (std::size_t i = kFingers; i-- > 0;) {
+    const RingId f = table[i];
+    if (f != self && in_interval(f, self, key - 1)) {
+      forward = f;
+      break;
+    }
+  }
+  if (forward == self) forward = next_node;  // linear fallback
+  return {false, forward};
+}
+
 LookupResult ChordRing::lookup(RingId key, RingId start) const {
   assert(contains(start));
   LookupResult result;
@@ -73,23 +91,12 @@ LookupResult ChordRing::lookup(RingId key, RingId start) const {
   // Bounded walk (a correct ring terminates in O(log n); the bound guards
   // against pathological test inputs).
   for (std::size_t step = 0; step < nodes_.size() + kFingers; ++step) {
-    const auto& table = finger_.at(current);
-    const RingId next_node = table[0];  // immediate successor
-    if (in_interval(key, current, next_node)) {
-      result.owner = next_node;
+    const RouteStep hop = route_step(key, current);
+    if (hop.done) {
+      result.owner = hop.next;
       return result;
     }
-    // Closest preceding finger of `key`.
-    RingId forward = current;
-    for (std::size_t i = kFingers; i-- > 0;) {
-      const RingId f = table[i];
-      if (f != current && in_interval(f, current, key - 1)) {
-        forward = f;
-        break;
-      }
-    }
-    if (forward == current) forward = next_node;  // linear fallback
-    current = forward;
+    current = hop.next;
     ++result.hops;
   }
   result.owner = successor(key);  // unreachable on a consistent ring

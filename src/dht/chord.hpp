@@ -41,6 +41,14 @@ struct LookupResult {
   std::size_t hops = 0;
 };
 
+/// One step of iterative routing, as a node would answer it over the
+/// wire: either the owner is known (`done`, owner = successor(key)) or
+/// the query should move to `next` (the closest preceding finger).
+struct RouteStep {
+  bool done = false;
+  RingId next = 0;  ///< owner when done, else the node to ask next
+};
+
 /// A Chord ring over an explicit node set.
 ///
 /// Nodes are identified by their RingId.  Fingers and successor lists are
@@ -73,6 +81,13 @@ class ChordRing {
   /// step the query moves to the closest preceding finger, exactly as a
   /// real Chord node would forward it.  Counts hops.
   LookupResult lookup(RingId key, RingId start) const;
+
+  /// The single routing decision node `self` (must be a member) makes for
+  /// `key` — the per-hop body of lookup(), exposed so a networked node
+  /// can answer one iterative-routing request at a time: done when the
+  /// key falls between self and its immediate successor, otherwise the
+  /// closest preceding finger to forward to.
+  RouteStep route_step(RingId key, RingId self) const;
 
   /// The `kSuccessorListLength` nodes following `node` (for replication
   /// and fault tolerance); fewer if the ring is small.

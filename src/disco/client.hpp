@@ -1,0 +1,77 @@
+// Client side of the discovery protocol: iterative lookups, announces,
+// resolves, status — one short-lived blocking connection per request.
+//
+// The client owns the routing walk (that is what makes Chord hops real
+// network round-trips): it asks a seed for one route_step, then the
+// returned node, and so on until a node answers `done`.  Any hop that
+// cannot be dialed restarts the walk from the next configured seed, so a
+// killed discovery node costs retries, not failure, as long as one seed
+// lives.  Resolution then queries the owner and — when the owner is the
+// casualty — its successor replicas from the same lookup response.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "disco/wire.hpp"
+#include "net/download_client.hpp"
+
+namespace fairshare::disco {
+
+struct ClientConfig {
+  /// Discovery nodes to start walks from, tried in order per request.
+  std::vector<wire::Member> seeds;
+  int io_timeout_ms = 2'000;
+  /// Routing-walk bound (a correct ring of n nodes needs O(log n)).
+  int max_hops = 32;
+};
+
+/// A completed lookup: the owner, its successor replicas, and how many
+/// network round-trips the walk took (the O(log n) figure tests assert).
+struct LookupOutcome {
+  wire::Member owner;
+  std::vector<wire::Member> successors;
+  int hops = 0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+
+  /// Walk the ring to the owner of `key`.  nullopt when no seed is
+  /// reachable or the walk exceeds max_hops.
+  std::optional<LookupOutcome> lookup(dht::RingId key) const;
+
+  /// Providers of `file_id`, via lookup + resolve against the owner (and
+  /// its successors when the owner is unreachable or empty-handed).
+  /// `hops_out`, when given, receives the routing hop count.
+  std::vector<wire::Provider> resolve(std::uint64_t file_id,
+                                      int* hops_out = nullptr) const;
+
+  /// Write a provider record for `file_id` to its owner.
+  bool announce(std::uint64_t file_id, const wire::Provider& provider,
+                std::uint32_t ttl_ms) const;
+
+  /// Introspect one discovery node directly (no routing).
+  std::optional<wire::StatusResponse> status(const wire::Member& node) const;
+
+ private:
+  std::optional<std::vector<std::byte>> request(
+      const wire::Member& target, std::span<const std::byte> frame) const;
+
+  ClientConfig config_;
+};
+
+/// Resolve `file_id` through the DHT and convert the provider records to
+/// download endpoints (identity keys are not distributed through
+/// discovery; federated servers run with require_auth off or distribute
+/// keys out of band).  Falls back to `static_fallback` when discovery
+/// yields nothing, mirroring a client configured with both.  The result
+/// is deduplicated by endpoint.
+std::vector<net::PeerEndpoint> resolve_peers(
+    std::uint64_t file_id, const ClientConfig& config,
+    const std::vector<net::PeerEndpoint>& static_fallback = {},
+    int* hops_out = nullptr);
+
+}  // namespace fairshare::disco

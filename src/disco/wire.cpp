@@ -1,0 +1,398 @@
+#include "disco/wire.hpp"
+
+#include <bit>
+
+namespace fairshare::disco::wire {
+
+namespace {
+
+// Hostnames on the wire are length-prefixed (u16); anything longer than a
+// DNS name can be is malformed by construction.
+constexpr std::size_t kMaxHostLen = 255;
+
+class Writer {
+ public:
+  explicit Writer(MessageType type) { put_u8(static_cast<std::uint8_t>(type)); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(std::byte{v}); }
+
+  void put_u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i)
+      buf_.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+  }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+  }
+
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void put_host(const std::string& host) {
+    const std::size_t len = std::min(host.size(), kMaxHostLen);
+    put_u16(static_cast<std::uint16_t>(len));
+    for (std::size_t i = 0; i < len; ++i)
+      buf_.push_back(static_cast<std::byte>(host[i]));
+  }
+
+  void put_member(const Member& m) {
+    put_u64(m.id);
+    put_host(m.host);
+    put_u16(m.port);
+  }
+
+  void put_provider(const Provider& p) {
+    put_u64(p.peer_id);
+    put_host(p.host);
+    put_u16(p.port);
+  }
+
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  bool expect_type(MessageType type) {
+    return get_u8() == static_cast<std::uint8_t>(type) && ok_;
+  }
+
+  std::uint8_t get_u8() {
+    if (!take(1)) return 0;
+    return std::to_integer<std::uint8_t>(data_[pos_ - 1]);
+  }
+
+  std::uint16_t get_u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(
+                  std::to_integer<std::uint8_t>(data_[pos_ - 2 + i]))
+                  << (8 * i));
+    return v;
+  }
+
+  std::uint32_t get_u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               std::to_integer<std::uint8_t>(data_[pos_ - 4 + i]))
+           << (8 * i);
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               std::to_integer<std::uint8_t>(data_[pos_ - 8 + i]))
+           << (8 * i);
+    return v;
+  }
+
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+  bool get_host(std::string& out) {
+    const std::uint16_t len = get_u16();
+    if (!ok_ || len > kMaxHostLen || !take(len)) {
+      ok_ = false;
+      return false;
+    }
+    out.resize(len);
+    for (std::size_t i = 0; i < len; ++i)
+      out[i] = static_cast<char>(
+          std::to_integer<std::uint8_t>(data_[pos_ - len + i]));
+    return true;
+  }
+
+  bool get_member(Member& m) {
+    m.id = get_u64();
+    if (!get_host(m.host)) return false;
+    m.port = get_u16();
+    return ok_;
+  }
+
+  bool get_provider(Provider& p) {
+    p.peer_id = get_u64();
+    if (!get_host(p.host)) return false;
+    p.port = get_u16();
+    return ok_;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// A corrupt element count must not allocate unbounded scratch before the
+// per-element reads fail: every variable-length list is rechecked against
+// a conservative minimum element size.
+bool plausible_count(const Reader& r, std::size_t count,
+                     std::size_t min_elem_bytes) {
+  return count * min_elem_bytes <= r.remaining();
+}
+
+constexpr std::size_t kMinMemberBytes = 8 + 2 + 2;    // id + len + port
+constexpr std::size_t kMinProviderBytes = 8 + 2 + 2;  // id + len + port
+constexpr std::size_t kLedgerEntryBytes = 8 + 8 + 8;
+
+}  // namespace
+
+// --------------------------------------------------------------- encoders
+
+std::vector<std::byte> encode(const LookupRequest& msg) {
+  Writer w(MessageType::lookup_request);
+  w.put_u64(msg.key);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const LookupResponse& msg) {
+  Writer w(MessageType::lookup_response);
+  w.put_u8(msg.done ? 1 : 0);
+  w.put_member(msg.target);
+  w.put_u16(static_cast<std::uint16_t>(msg.successors.size()));
+  for (const Member& m : msg.successors) w.put_member(m);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const AnnounceRequest& msg) {
+  Writer w(MessageType::announce_request);
+  w.put_u64(msg.file_id);
+  w.put_provider(msg.provider);
+  w.put_u32(msg.ttl_ms);
+  w.put_u8(msg.replicate ? 1 : 0);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const AnnounceResponse& msg) {
+  Writer w(MessageType::announce_response);
+  w.put_u8(msg.stored ? 1 : 0);
+  w.put_u8(msg.replicas);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const ResolveRequest& msg) {
+  Writer w(MessageType::resolve_request);
+  w.put_u64(msg.file_id);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const ResolveResponse& msg) {
+  Writer w(MessageType::resolve_response);
+  w.put_u16(static_cast<std::uint16_t>(msg.providers.size()));
+  for (const Provider& p : msg.providers) w.put_provider(p);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const JoinRequest& msg) {
+  Writer w(MessageType::join_request);
+  w.put_member(msg.joiner);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const Gossip& msg) {
+  Writer w(MessageType::gossip);
+  w.put_u8(msg.reply ? 1 : 0);
+  w.put_member(msg.from);
+  w.put_u16(static_cast<std::uint16_t>(msg.members.size()));
+  for (const Member& m : msg.members) w.put_member(m);
+  w.put_u32(static_cast<std::uint32_t>(msg.ledger.size()));
+  for (const auto& e : msg.ledger) {
+    w.put_u64(e.user_id);
+    w.put_u64(e.origin);
+    w.put_f64(e.total);
+  }
+  return w.take();
+}
+
+std::vector<std::byte> encode(const StatusRequest&) {
+  Writer w(MessageType::status_request);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const StatusResponse& msg) {
+  Writer w(MessageType::status_response);
+  w.put_member(msg.self);
+  w.put_u16(static_cast<std::uint16_t>(msg.members.size()));
+  for (const Member& m : msg.members) w.put_member(m);
+  w.put_u32(msg.provider_records);
+  w.put_u32(msg.ledger_entries);
+  w.put_u64(msg.gossip_rounds);
+  w.put_u64(msg.lookups_served);
+  return w.take();
+}
+
+// --------------------------------------------------------------- decoders
+
+std::optional<LookupRequest> decode_lookup_request(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::lookup_request)) return std::nullopt;
+  LookupRequest msg;
+  msg.key = r.get_u64();
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<LookupResponse> decode_lookup_response(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::lookup_response)) return std::nullopt;
+  LookupResponse msg;
+  msg.done = r.get_u8() != 0;
+  if (!r.get_member(msg.target)) return std::nullopt;
+  const std::uint16_t n = r.get_u16();
+  if (!r.ok() || !plausible_count(r, n, kMinMemberBytes)) return std::nullopt;
+  msg.successors.resize(n);
+  for (Member& m : msg.successors)
+    if (!r.get_member(m)) return std::nullopt;
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<AnnounceRequest> decode_announce_request(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::announce_request)) return std::nullopt;
+  AnnounceRequest msg;
+  msg.file_id = r.get_u64();
+  if (!r.get_provider(msg.provider)) return std::nullopt;
+  msg.ttl_ms = r.get_u32();
+  msg.replicate = r.get_u8() != 0;
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<AnnounceResponse> decode_announce_response(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::announce_response)) return std::nullopt;
+  AnnounceResponse msg;
+  msg.stored = r.get_u8() != 0;
+  msg.replicas = r.get_u8();
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<ResolveRequest> decode_resolve_request(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::resolve_request)) return std::nullopt;
+  ResolveRequest msg;
+  msg.file_id = r.get_u64();
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<ResolveResponse> decode_resolve_response(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::resolve_response)) return std::nullopt;
+  ResolveResponse msg;
+  const std::uint16_t n = r.get_u16();
+  if (!r.ok() || !plausible_count(r, n, kMinProviderBytes))
+    return std::nullopt;
+  msg.providers.resize(n);
+  for (Provider& p : msg.providers)
+    if (!r.get_provider(p)) return std::nullopt;
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<JoinRequest> decode_join_request(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::join_request)) return std::nullopt;
+  JoinRequest msg;
+  if (!r.get_member(msg.joiner)) return std::nullopt;
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<Gossip> decode_gossip(std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::gossip)) return std::nullopt;
+  Gossip msg;
+  msg.reply = r.get_u8() != 0;
+  if (!r.get_member(msg.from)) return std::nullopt;
+  const std::uint16_t nm = r.get_u16();
+  if (!r.ok() || !plausible_count(r, nm, kMinMemberBytes)) return std::nullopt;
+  msg.members.resize(nm);
+  for (Member& m : msg.members)
+    if (!r.get_member(m)) return std::nullopt;
+  const std::uint32_t nl = r.get_u32();
+  if (!r.ok() || !plausible_count(r, nl, kLedgerEntryBytes))
+    return std::nullopt;
+  msg.ledger.resize(nl);
+  for (auto& e : msg.ledger) {
+    e.user_id = r.get_u64();
+    e.origin = r.get_u64();
+    e.total = r.get_f64();
+  }
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<StatusRequest> decode_status_request(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::status_request)) return std::nullopt;
+  if (!r.at_end()) return std::nullopt;
+  return StatusRequest{};
+}
+
+std::optional<StatusResponse> decode_status_response(
+    std::span<const std::byte> frame) {
+  Reader r(frame);
+  if (!r.expect_type(MessageType::status_response)) return std::nullopt;
+  StatusResponse msg;
+  if (!r.get_member(msg.self)) return std::nullopt;
+  const std::uint16_t n = r.get_u16();
+  if (!r.ok() || !plausible_count(r, n, kMinMemberBytes)) return std::nullopt;
+  msg.members.resize(n);
+  for (Member& m : msg.members)
+    if (!r.get_member(m)) return std::nullopt;
+  msg.provider_records = r.get_u32();
+  msg.ledger_entries = r.get_u32();
+  msg.gossip_rounds = r.get_u64();
+  msg.lookups_served = r.get_u64();
+  if (!r.at_end()) return std::nullopt;
+  return msg;
+}
+
+std::optional<MessageType> peek_type(std::span<const std::byte> frame) {
+  if (frame.empty()) return std::nullopt;
+  const auto tag = std::to_integer<std::uint8_t>(frame[0]);
+  if (tag < static_cast<std::uint8_t>(MessageType::lookup_request) ||
+      tag > static_cast<std::uint8_t>(MessageType::status_response))
+    return std::nullopt;
+  return static_cast<MessageType>(tag);
+}
+
+}  // namespace fairshare::disco::wire

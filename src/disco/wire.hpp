@@ -1,0 +1,191 @@
+// Binary wire formats for the discovery/federation protocol.
+//
+// Discovery nodes speak length-prefixed frames over the same
+// net::Transport seam as the serve path; this header defines what is
+// inside those frames.  The protocol has three planes:
+//
+//   * routing  — lookup_request/_response: one iterative Chord hop.  The
+//     client carries the query: a node answers either "done, the owner is
+//     X (and here are X's successors for replica fallback)" or "ask Y
+//     next" (its closest preceding finger, via ChordRing::route_step).
+//   * records  — announce/resolve: TTL'd provider records (file id ->
+//     serving endpoint) stored on the owner and pushed to its successor
+//     list (`replicate` distinguishes the origin write from the replica
+//     push so replication does not cascade).
+//   * state    — join/gossip/status: membership and the federated
+//     contribution ledger travel together in Gossip frames (push-pull
+//     anti-entropy); the ledger rows are alloc::FederatedLedger entries,
+//     max-merged at the receiver.
+//
+// Same conventions as p2p::wire: a type tag leads every frame (disco tags
+// start at 64 so the two tag spaces stay disjoint), all integers are
+// little-endian, every decoder is bounds-checked and total — malformed
+// input yields nullopt, never UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "alloc/federated_ledger.hpp"
+#include "dht/chord.hpp"
+
+namespace fairshare::disco::wire {
+
+/// Frame type tags (first byte of every frame).
+enum class MessageType : std::uint8_t {
+  lookup_request = 64,
+  lookup_response = 65,
+  announce_request = 66,
+  announce_response = 67,
+  resolve_request = 68,
+  resolve_response = 69,
+  join_request = 70,
+  gossip = 71,  ///< push, pull-reply, and join-reply all use this shape
+  status_request = 72,
+  status_response = 73,
+};
+
+/// A discovery node as ring members address each other.
+struct Member {
+  dht::RingId id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+
+  bool operator==(const Member&) const = default;
+};
+
+/// A serving endpoint stored in a provider record.
+struct Provider {
+  std::uint64_t peer_id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+
+  bool operator==(const Provider&) const = default;
+};
+
+/// One iterative routing step: "who owns `key`, from where you stand?"
+struct LookupRequest {
+  dht::RingId key = 0;
+
+  bool operator==(const LookupRequest&) const = default;
+};
+
+/// `done`: `target` owns the key and `successors` are its successor-list
+/// members (the resolve fallbacks).  Not done: ask `target` next.
+struct LookupResponse {
+  bool done = false;
+  Member target;
+  std::vector<Member> successors;
+
+  bool operator==(const LookupResponse&) const = default;
+};
+
+/// Store (or refresh) a provider record for `file_id`, alive for
+/// `ttl_ms`.  `replicate` is true on the origin write — the owner then
+/// pushes a replicate=false copy to each successor, and those copies must
+/// not cascade further.
+struct AnnounceRequest {
+  std::uint64_t file_id = 0;
+  Provider provider;
+  std::uint32_t ttl_ms = 0;
+  bool replicate = true;
+
+  bool operator==(const AnnounceRequest&) const = default;
+};
+
+struct AnnounceResponse {
+  bool stored = false;
+  std::uint8_t replicas = 0;  ///< successor copies the owner pushed
+
+  bool operator==(const AnnounceResponse&) const = default;
+};
+
+struct ResolveRequest {
+  std::uint64_t file_id = 0;
+
+  bool operator==(const ResolveRequest&) const = default;
+};
+
+struct ResolveResponse {
+  std::vector<Provider> providers;
+
+  bool operator==(const ResolveResponse&) const = default;
+};
+
+/// "Add me to the ring" — answered with a Gossip frame carrying the full
+/// membership view and ledger.
+struct JoinRequest {
+  Member joiner;
+
+  bool operator==(const JoinRequest&) const = default;
+};
+
+/// Anti-entropy payload: the sender's identity, membership view, and
+/// contribution ledger.  `reply` distinguishes the pull half of a
+/// push-pull round (a reply must not be replied to again).
+struct Gossip {
+  bool reply = false;
+  Member from;
+  std::vector<Member> members;
+  std::vector<alloc::FederatedLedger::Entry> ledger;
+
+  bool operator==(const Gossip&) const = default;
+};
+
+struct StatusRequest {
+  bool operator==(const StatusRequest&) const = default;
+};
+
+struct StatusResponse {
+  Member self;
+  std::vector<Member> members;
+  std::uint32_t provider_records = 0;
+  std::uint32_t ledger_entries = 0;
+  std::uint64_t gossip_rounds = 0;
+  std::uint64_t lookups_served = 0;
+
+  bool operator==(const StatusResponse&) const = default;
+};
+
+// --------------------------------------------------------------- encoders
+std::vector<std::byte> encode(const LookupRequest& msg);
+std::vector<std::byte> encode(const LookupResponse& msg);
+std::vector<std::byte> encode(const AnnounceRequest& msg);
+std::vector<std::byte> encode(const AnnounceResponse& msg);
+std::vector<std::byte> encode(const ResolveRequest& msg);
+std::vector<std::byte> encode(const ResolveResponse& msg);
+std::vector<std::byte> encode(const JoinRequest& msg);
+std::vector<std::byte> encode(const Gossip& msg);
+std::vector<std::byte> encode(const StatusRequest& msg);
+std::vector<std::byte> encode(const StatusResponse& msg);
+
+// --------------------------------------------------------------- decoders
+// Each consumes a full frame produced by the matching encode().
+std::optional<LookupRequest> decode_lookup_request(
+    std::span<const std::byte> frame);
+std::optional<LookupResponse> decode_lookup_response(
+    std::span<const std::byte> frame);
+std::optional<AnnounceRequest> decode_announce_request(
+    std::span<const std::byte> frame);
+std::optional<AnnounceResponse> decode_announce_response(
+    std::span<const std::byte> frame);
+std::optional<ResolveRequest> decode_resolve_request(
+    std::span<const std::byte> frame);
+std::optional<ResolveResponse> decode_resolve_response(
+    std::span<const std::byte> frame);
+std::optional<JoinRequest> decode_join_request(
+    std::span<const std::byte> frame);
+std::optional<Gossip> decode_gossip(std::span<const std::byte> frame);
+std::optional<StatusRequest> decode_status_request(
+    std::span<const std::byte> frame);
+std::optional<StatusResponse> decode_status_response(
+    std::span<const std::byte> frame);
+
+/// Type tag of a frame (nullopt when empty or unknown).
+std::optional<MessageType> peek_type(std::span<const std::byte> frame);
+
+}  // namespace fairshare::disco::wire

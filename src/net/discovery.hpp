@@ -1,0 +1,50 @@
+// The serve path's view of discovery/federation, dependency-inverted.
+//
+// PeerServer (in net) must not link the disco subsystem — disco sits on
+// top of net (Transport, EventLoop, Socket).  This interface is the thin
+// waist between them: a server configured with Config::discovery calls
+// these three methods and nothing else, and disco::DiscoveryNode
+// implements them.  Tests can substitute an in-process fake.
+//
+// Threading contract: announce_file is called once per stored file from
+// start(); publish_contribution and swarm_contribution are called from
+// the pacing tick (every Config::pacing_quantum_ms, under the server's
+// pacing lock) — implementations must be thread-safe and must never call
+// back into the server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fairshare::net {
+
+/// Where a server can be reached for file requests, as announced to
+/// discovery.
+struct ServeEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t peer_id = 0;
+};
+
+class DiscoveryHook {
+ public:
+  virtual ~DiscoveryHook() = default;
+
+  /// Register `self` as a provider of `file_id` (the implementation owns
+  /// TTL refresh).  False when no discovery node could be reached — the
+  /// server keeps serving; the file is just not locatable through the DHT.
+  virtual bool announce_file(std::uint64_t file_id,
+                             const ServeEndpoint& self) = 0;
+
+  /// Publish this server's cumulative locally-measured contribution for
+  /// one user (bytes served on its behalf, Eq. (2)'s ledger S).  Totals
+  /// are monotone; re-publishing an unchanged total is a no-op.
+  virtual void publish_contribution(std::uint64_t user_id, double total) = 0;
+
+  /// The user's gossiped contribution summed across every OTHER origin
+  /// server (this server's own measurement already reaches its policy via
+  /// the ordinary feedback path and must not be double-counted).
+  virtual double swarm_contribution(std::uint64_t user_id) const = 0;
+};
+
+}  // namespace fairshare::net

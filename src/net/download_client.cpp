@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "coding/codec.hpp"
 #include "crypto/auth.hpp"
@@ -79,10 +80,22 @@ PeerInstruments make_instruments(obs::MetricsRegistry& registry,
 
 }  // namespace
 
-DownloadReport download_file(const std::vector<PeerEndpoint>& peers,
+std::vector<PeerEndpoint> dedup_endpoints(std::vector<PeerEndpoint> peers) {
+  std::unordered_set<PeerEndpoint, PeerEndpointHash> seen;
+  seen.reserve(peers.size());
+  std::erase_if(peers,
+                [&](const PeerEndpoint& p) { return !seen.insert(p).second; });
+  return peers;
+}
+
+DownloadReport download_file(const std::vector<PeerEndpoint>& raw_peers,
                              const coding::SecretKey& secret,
                              const coding::FileInfo& info,
                              const DownloadOptions& options) {
+  // Resolved peer sets may list one server several times (owner record,
+  // successor replica, static fallback); a duplicate session would fight
+  // itself for the same pacing slot.
+  const std::vector<PeerEndpoint> peers = dedup_endpoints(raw_peers);
   DownloadReport report;
   report.per_peer.resize(peers.size());
   obs::MetricsRegistry& registry =

@@ -51,7 +51,35 @@ struct PeerEndpoint {
   std::uint64_t peer_id = 0;
   /// The peer's registered public key (empty modulus => expect no auth).
   crypto::RsaPublicKey identity;
+
+  /// Two endpoints are the same peer when they dial the same address as
+  /// the same identity — discovery can surface one server through several
+  /// paths (owner record + successor replicas + static config), and a
+  /// duplicate would open two sessions against one pacing slot.
+  bool operator==(const PeerEndpoint& other) const {
+    return host == other.host && port == other.port &&
+           peer_id == other.peer_id && identity.n == other.identity.n &&
+           identity.e == other.identity.e;
+  }
 };
+
+/// Hash over the addressable fields (identity is excluded: equal
+/// endpoints hash equal, and an address collision just probes).
+struct PeerEndpointHash {
+  std::size_t operator()(const PeerEndpoint& p) const {
+    std::size_t h = std::hash<std::string>{}(p.host);
+    h ^= std::hash<std::uint64_t>{}(p.peer_id) + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+    h ^= std::hash<std::uint16_t>{}(p.port) + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+/// `peers` with duplicate endpoints removed, first occurrence kept (order
+/// is meaningful: callers put DHT-resolved providers before static
+/// fallbacks).
+std::vector<PeerEndpoint> dedup_endpoints(std::vector<PeerEndpoint> peers);
 
 /// Per-peer slice of a DownloadReport.
 struct PeerDownloadStats {

@@ -64,6 +64,7 @@ PeerServer::PeerServer(Config config, p2p::MessageStore store,
       pt_received_(config_.max_users, 0.0),
       pt_shares_(config_.max_users, 0.0),
       pt_sessions_(config_.max_users, 0),
+      applied_remote_(config_.max_users, 0.0),
       registry_(config.registry ? config.registry
                                 : &obs::MetricsRegistry::global()),
       m_user_bytes_(config_.max_users, nullptr),
@@ -172,9 +173,23 @@ bool PeerServer::start() {
     obs::enable_sigusr1_trigger();
     dump_generation_seen_ = obs::sigusr1_generation();
   }
+  // Announce every stored file to discovery once the port is known (the
+  // hook owns the TTL refresh from there).
+  const auto announce_stored = [this] {
+    if (!config_.discovery) return;
+    ServeEndpoint self;
+    self.host = config_.advertise_host;
+    self.port = port_;
+    self.peer_id = config_.peer_id;
+    for (const std::uint64_t file_id : store_.file_ids())
+      config_.discovery->announce_file(file_id, self);
+  };
   if (backend_ == NetBackend::epoll) {
     running_ = true;
-    if (reactor_start()) return true;
+    if (reactor_start()) {
+      announce_stored();
+      return true;
+    }
     // The reactor could not come up (fd limits, failed bind): fall back
     // to the portable path rather than refusing to serve.
     running_ = false;
@@ -200,6 +215,7 @@ bool PeerServer::start() {
   }
   serving_threads_ = serving;
   accept_thread_ = std::thread([this] { accept_loop(); });
+  announce_stored();
   return true;
 }
 
@@ -277,6 +293,24 @@ void PeerServer::pacing_tick_locked() {
     if (st->streaming) {
       pt_requesting_[st->user_slot] = 1;
       ++pt_sessions_[st->user_slot];
+    }
+  }
+
+  // Federation: publish this server's cumulative per-user service to the
+  // swarm and fold in what each user earned at OTHER origin servers.  The
+  // hook reports a monotone swarm-wide total; only its growth since the
+  // last tick enters the feedback (the policy itself accumulates), so the
+  // fold is idempotent under gossip re-delivery.
+  if (config_.discovery) {
+    for (std::size_t s = 0; s < slot_users_.size(); ++s) {
+      config_.discovery->publish_contribution(
+          slot_users_[s], static_cast<double>(user_bytes_[s]));
+      const double remote =
+          config_.discovery->swarm_contribution(slot_users_[s]);
+      if (remote > applied_remote_[s]) {
+        pt_received_[s] += remote - applied_remote_[s];
+        applied_remote_[s] = remote;
+      }
     }
   }
 

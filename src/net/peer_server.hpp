@@ -44,6 +44,7 @@
 
 #include "alloc/synchronized_policy.hpp"
 #include "crypto/auth.hpp"
+#include "net/discovery.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
@@ -102,6 +103,18 @@ class PeerServer {
     /// Series are labelled peer=<peer_id>, so several servers can share
     /// one registry (give them distinct peer_ids, as a real swarm would).
     obs::MetricsRegistry* registry = nullptr;
+    /// Discovery/federation hook (normally a disco::DiscoveryNode).  When
+    /// set, start() announces every stored file id to it, and each pacing
+    /// tick publishes this server's per-user contribution totals and folds
+    /// gossiped remote contributions into the Eq. (2) ledger — so a user
+    /// who contributed through ANOTHER server of the federation earns
+    /// share here too.  Remote totals ride the pacing tick, so federation
+    /// requires rate_kbps > 0 (an unpaced server never ticks).
+    std::shared_ptr<DiscoveryHook> discovery;
+    /// Address announced to discovery as this server's serving endpoint
+    /// (the listen socket binds loopback; a real deployment would put the
+    /// routable name here).
+    std::string advertise_host = "127.0.0.1";
     /// Non-empty: write the registry as JSON here (atomic tmp+rename) when
     /// the process receives SIGUSR1 and again when the server stops, so a
     /// live peer and a finished bench emit the same artifact.  Inspect
@@ -253,6 +266,10 @@ class PeerServer {
   std::vector<double> pt_shares_;
   std::vector<std::size_t> pt_sessions_;
   std::uint64_t pt_slot_ = 0;
+  /// Gossiped remote contribution already folded into the policy ledger,
+  /// by slot (pacing_mutex_): each tick applies only the delta against
+  /// the hook's current swarm total, keeping the fold idempotent.
+  std::vector<double> applied_remote_;
 
   std::atomic<std::size_t> sessions_completed_{0};
   std::atomic<std::size_t> auth_rejections_{0};

@@ -1,0 +1,142 @@
+// FederatedLedger: the CRDT the federation gossips.  Max-merge over
+// (user, origin) keyed totals must form a join semilattice — idempotent,
+// commutative, associative, monotone — or anti-entropy would never
+// converge; swarm_total must exclude the asking origin so a server never
+// double-counts its own local measurement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "alloc/federated_ledger.hpp"
+#include "sim/rng.hpp"
+
+namespace fairshare::alloc {
+namespace {
+
+std::vector<FederatedLedger::Entry> random_entries(std::uint64_t seed,
+                                                   std::size_t count) {
+  sim::SplitMix64 rng(seed);
+  std::vector<FederatedLedger::Entry> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({rng.next_below(5), rng.next_below(4),
+                   static_cast<double>(rng.next_below(1000))});
+  }
+  return out;
+}
+
+TEST(FederatedLedger, RecordKeepsMaximum) {
+  FederatedLedger ledger;
+  EXPECT_TRUE(ledger.record(1, 10, 100.0));
+  EXPECT_FALSE(ledger.record(1, 10, 50.0));  // regressions are ignored
+  EXPECT_FALSE(ledger.record(1, 10, 100.0));  // equal is a no-op
+  EXPECT_TRUE(ledger.record(1, 10, 150.0));
+  const auto snap = ledger.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].total, 150.0);
+}
+
+TEST(FederatedLedger, SwarmTotalExcludesAskingOrigin) {
+  FederatedLedger ledger;
+  ledger.record(7, /*origin=*/1, 100.0);
+  ledger.record(7, /*origin=*/2, 40.0);
+  ledger.record(7, /*origin=*/3, 2.0);
+  ledger.record(8, /*origin=*/1, 999.0);  // different user, ignored
+  EXPECT_DOUBLE_EQ(ledger.swarm_total(7, /*exclude=*/1), 42.0);
+  EXPECT_DOUBLE_EQ(ledger.swarm_total(7, /*exclude=*/2), 102.0);
+  EXPECT_DOUBLE_EQ(ledger.swarm_total(7, /*exclude=*/99), 142.0);
+  EXPECT_DOUBLE_EQ(ledger.swarm_total(12345, 1), 0.0);
+}
+
+TEST(FederatedLedger, MergeIsIdempotent) {
+  FederatedLedger ledger;
+  const auto entries = random_entries(1, 64);
+  ledger.merge(entries);
+  const auto once = ledger.snapshot();
+  EXPECT_EQ(ledger.merge(entries), 0u);  // nothing grows the second time
+  EXPECT_EQ(ledger.snapshot(), once);
+}
+
+TEST(FederatedLedger, MergeIsCommutativeAndAssociative) {
+  const auto a = random_entries(2, 48);
+  const auto b = random_entries(3, 48);
+  const auto c = random_entries(4, 48);
+
+  FederatedLedger abc, cba, a_bc;
+  abc.merge(a);
+  abc.merge(b);
+  abc.merge(c);
+  cba.merge(c);
+  cba.merge(b);
+  cba.merge(a);
+  // (a ∨ b) ∨ c via a pre-merged intermediate.
+  FederatedLedger bc;
+  bc.merge(b);
+  bc.merge(c);
+  a_bc.merge(a);
+  a_bc.merge(bc.snapshot());
+  EXPECT_EQ(abc.snapshot(), cba.snapshot());
+  EXPECT_EQ(abc.snapshot(), a_bc.snapshot());
+}
+
+TEST(FederatedLedger, MergeDropsPoisonEntries) {
+  FederatedLedger ledger;
+  std::vector<FederatedLedger::Entry> poison = {
+      {1, 1, -5.0},
+      {1, 2, std::numeric_limits<double>::quiet_NaN()},
+      {1, 3, std::numeric_limits<double>::infinity()},
+      {1, 4, 10.0},  // the one valid row
+  };
+  EXPECT_EQ(ledger.merge(poison), 1u);
+  EXPECT_EQ(ledger.size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.swarm_total(1, 99), 10.0);
+}
+
+TEST(FederatedLedger, AntiEntropyConvergesAllReplicas) {
+  // N replicas each record disjoint local history, then pairwise-exchange
+  // snapshots in a ring; after one full round-trip every replica holds
+  // the same join.
+  constexpr std::size_t kReplicas = 5;
+  std::vector<FederatedLedger> replicas(kReplicas);
+  for (std::size_t r = 0; r < kReplicas; ++r)
+    for (std::uint64_t user = 0; user < 3; ++user)
+      replicas[r].record(user, /*origin=*/r, 100.0 * (r + 1) + user);
+
+  for (std::size_t round = 0; round < 2 * kReplicas; ++round) {
+    const std::size_t from = round % kReplicas;
+    const std::size_t to = (round + 1) % kReplicas;
+    replicas[to].merge(replicas[from].snapshot());
+  }
+  const auto reference = replicas[0].snapshot();
+  EXPECT_EQ(reference.size(), kReplicas * 3);
+  for (const FederatedLedger& r : replicas) EXPECT_EQ(r.snapshot(), reference);
+}
+
+TEST(FederatedLedger, ConcurrentRecordAndMergeKeepMaxima) {
+  // TSan-facing: writers race record() against merge() of a snapshot
+  // taken mid-flight; the final state must still be the pointwise max.
+  FederatedLedger ledger;
+  constexpr int kWriters = 4;
+  constexpr int kSteps = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&ledger, w] {
+      for (int i = 1; i <= kSteps; ++i)
+        ledger.record(/*user=*/w, /*origin=*/1, static_cast<double>(i));
+    });
+  }
+  threads.emplace_back([&ledger] {
+    for (int i = 0; i < 50; ++i) ledger.merge(ledger.snapshot());
+  });
+  for (std::thread& t : threads) t.join();
+  for (int w = 0; w < kWriters; ++w)
+    EXPECT_DOUBLE_EQ(ledger.swarm_total(w, /*exclude=*/0),
+                     static_cast<double>(kSteps));
+}
+
+}  // namespace
+}  // namespace fairshare::alloc

@@ -1,0 +1,166 @@
+// disco wire codecs: round-trips, tag discipline, and total decoders
+// (every truncation of every valid frame must yield nullopt, never UB).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disco/wire.hpp"
+
+namespace fairshare::disco::wire {
+namespace {
+
+Member member(dht::RingId id, const std::string& host, std::uint16_t port) {
+  Member m;
+  m.id = id;
+  m.host = host;
+  m.port = port;
+  return m;
+}
+
+Provider provider(std::uint64_t peer, const std::string& host,
+                  std::uint16_t port) {
+  Provider p;
+  p.peer_id = peer;
+  p.host = host;
+  p.port = port;
+  return p;
+}
+
+TEST(DiscoWire, LookupRoundTrip) {
+  const LookupRequest req{0xdeadbeefcafef00dull};
+  const auto req_frame = encode(req);
+  EXPECT_EQ(peek_type(req_frame), MessageType::lookup_request);
+  EXPECT_EQ(decode_lookup_request(req_frame), req);
+
+  LookupResponse resp;
+  resp.done = true;
+  resp.target = member(42, "127.0.0.1", 9000);
+  resp.successors = {member(43, "10.0.0.1", 9001), member(44, "h", 9002)};
+  const auto resp_frame = encode(resp);
+  EXPECT_EQ(peek_type(resp_frame), MessageType::lookup_response);
+  EXPECT_EQ(decode_lookup_response(resp_frame), resp);
+}
+
+TEST(DiscoWire, AnnounceResolveRoundTrip) {
+  AnnounceRequest areq;
+  areq.file_id = 777;
+  areq.provider = provider(5, "127.0.0.1", 8080);
+  areq.ttl_ms = 10'000;
+  areq.replicate = false;
+  EXPECT_EQ(decode_announce_request(encode(areq)), areq);
+
+  AnnounceResponse aresp;
+  aresp.stored = true;
+  aresp.replicas = 3;
+  EXPECT_EQ(decode_announce_response(encode(aresp)), aresp);
+
+  const ResolveRequest rreq{777};
+  EXPECT_EQ(decode_resolve_request(encode(rreq)), rreq);
+
+  ResolveResponse rresp;
+  rresp.providers = {provider(1, "a", 1), provider(2, "bb", 2)};
+  EXPECT_EQ(decode_resolve_response(encode(rresp)), rresp);
+}
+
+TEST(DiscoWire, JoinGossipStatusRoundTrip) {
+  const JoinRequest join{member(7, "127.0.0.1", 7777)};
+  EXPECT_EQ(decode_join_request(encode(join)), join);
+
+  Gossip gossip;
+  gossip.reply = true;
+  gossip.from = member(1, "x", 1);
+  gossip.members = {member(1, "x", 1), member(2, "y", 2)};
+  gossip.ledger = {{10, 1, 123.5}, {11, 2, 0.0}};
+  EXPECT_EQ(decode_gossip(encode(gossip)), gossip);
+
+  EXPECT_EQ(decode_status_request(encode(StatusRequest{})), StatusRequest{});
+
+  StatusResponse status;
+  status.self = member(9, "z", 9);
+  status.members = {member(9, "z", 9)};
+  status.provider_records = 4;
+  status.ledger_entries = 2;
+  status.gossip_rounds = 100;
+  status.lookups_served = 50;
+  EXPECT_EQ(decode_status_response(encode(status)), status);
+}
+
+TEST(DiscoWire, EmptyCollectionsRoundTrip) {
+  LookupResponse resp;  // not done, no successors
+  resp.target = member(1, "", 1);
+  EXPECT_EQ(decode_lookup_response(encode(resp)), resp);
+  EXPECT_EQ(decode_resolve_response(encode(ResolveResponse{})),
+            ResolveResponse{});
+  Gossip gossip;
+  gossip.from = member(1, "x", 1);
+  EXPECT_EQ(decode_gossip(encode(gossip)), gossip);
+}
+
+TEST(DiscoWire, TagsAreDisjointFromP2p) {
+  // p2p::wire owns tags 1–8; every disco frame must lead with >= 64 so a
+  // misrouted frame can never alias.
+  for (const auto& frame :
+       {encode(LookupRequest{}), encode(AnnounceRequest{}),
+        encode(ResolveRequest{}), encode(JoinRequest{}), encode(Gossip{}),
+        encode(StatusRequest{})}) {
+    ASSERT_FALSE(frame.empty());
+    EXPECT_GE(static_cast<std::uint8_t>(frame[0]), 64);
+  }
+}
+
+TEST(DiscoWire, DecodersAreTotalOnTruncations) {
+  Gossip gossip;
+  gossip.from = member(1, "host-a", 1);
+  gossip.members = {member(2, "host-b", 2), member(3, "host-c", 3)};
+  gossip.ledger = {{1, 1, 1.0}};
+  const auto frames = {encode(gossip), encode(LookupRequest{5}),
+                       encode(AnnounceRequest{}), encode(StatusRequest{})};
+  for (const auto& frame : frames) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::span<const std::byte> cut(frame.data(), len);
+      EXPECT_EQ(decode_gossip(cut), std::nullopt);
+      EXPECT_EQ(decode_lookup_request(cut), std::nullopt);
+      EXPECT_EQ(decode_announce_request(cut), std::nullopt);
+      EXPECT_EQ(decode_status_request(cut), std::nullopt);
+    }
+  }
+}
+
+TEST(DiscoWire, TrailingGarbageIsRejected) {
+  auto frame = encode(LookupRequest{5});
+  frame.push_back(std::byte{0});
+  EXPECT_EQ(decode_lookup_request(frame), std::nullopt);
+}
+
+TEST(DiscoWire, WrongTagIsRejected) {
+  const auto frame = encode(LookupRequest{5});
+  EXPECT_EQ(decode_resolve_request(frame), std::nullopt);
+  EXPECT_EQ(decode_gossip(frame), std::nullopt);
+}
+
+TEST(DiscoWire, ImplausibleCountFieldIsRejectedWithoutAllocating) {
+  // A hostile frame can claim 2^32-ish members in four bytes; the decoder
+  // must reject it from the byte budget instead of resizing first.
+  Gossip gossip;
+  gossip.from = member(1, "x", 1);
+  auto frame = encode(gossip);
+  // The member-count field sits right after tag + reply + from; stamp it
+  // with an absurd count and keep the frame short.
+  ASSERT_GT(frame.size(), 4u);
+  frame[frame.size() - 12] = std::byte{0xff};  // somewhere in the counts
+  const auto decoded = decode_gossip(frame);
+  // Either rejected outright or decoded to something consistent — but it
+  // must return (no crash/OOM) and never invent members.
+  if (decoded) EXPECT_LE(decoded->members.size(), frame.size());
+}
+
+TEST(DiscoWire, PeekTypeRejectsForeignTags) {
+  EXPECT_EQ(peek_type({}), std::nullopt);
+  const std::byte p2p_tag[] = {std::byte{3}};
+  EXPECT_EQ(peek_type(p2p_tag), std::nullopt);
+  const std::byte beyond[] = {std::byte{74}};
+  EXPECT_EQ(peek_type(beyond), std::nullopt);
+}
+
+}  // namespace
+}  // namespace fairshare::disco::wire

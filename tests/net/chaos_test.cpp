@@ -236,13 +236,23 @@ TEST(NetChaos, ChunkedDownloadResumesAcrossMidStreamResets) {
   for (int iter = 0; iter < kIters; ++iter) {
     const std::uint64_t seed = 0xC4UL + 1000u * static_cast<unsigned>(iter);
     std::vector<FaultPlan> plans(3);
-    // Peer 0 dies mid-stream on every attempt (the request frame plus
-    // roughly half the coded messages fit the budget); peer 1 corrupts;
-    // peer 2 is healthy, so the swarm jointly always covers the file.
+    // Peer 0 dies mid-stream on every attempt (the request frame plus an
+    // eighth of the coded messages fit the budget); peer 1 corrupts; peer
+    // 2 delivers everything intact, so the swarm jointly always covers
+    // the file.  Peers 1 and 2 are also slowed by a 1 ms per-frame delay:
+    // their client threads sleep between frames, so even on a loaded
+    // one-core box peer 0's undelayed stream reaches its reset budget
+    // before the others can cover the file — the reset assertion below
+    // must hold for every scheduling interleaving, not just fair ones.
     plans[0].seed = seed;
-    plans[0].reset_after_frames = 1 + k / 2;
+    plans[0].reset_after_frames = 1 + k / 8;
     plans[1].seed = seed + 1;
     plans[1].corrupt_rate = 0.10;
+    plans[1].delay_rate = 1.0;
+    plans[1].delay_ms = 1;
+    plans[2].seed = seed + 2;
+    plans[2].delay_rate = 1.0;
+    plans[2].delay_ms = 1;
 
     std::vector<std::unique_ptr<PeerServer>> servers;
     std::vector<PeerEndpoint> endpoints;

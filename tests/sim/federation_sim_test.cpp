@@ -1,0 +1,118 @@
+// FederationSim: the simulation twin of the federated-swarm fold.  The
+// scenario under test is the paper's Eq. (2) incentive stretched across
+// origins: service earned at shard A must buy allocation priority at
+// shard B once the ledgers gossip — and must NOT without gossip.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/federation.hpp"
+
+namespace fairshare::sim {
+namespace {
+
+// Two shards, two users.  Phase 1: user 0 is served heavily by shard 0
+// while user 1 idles.  Phase 2: both users request from shard 1, which
+// never served either before.
+FederationConfig two_shard_config(std::uint64_t gossip_period) {
+  FederationConfig config;
+  config.shards = 2;
+  config.users = 2;
+  config.shard_capacity_kbps = 1000.0;
+  config.gossip_period_slots = gossip_period;
+  return config;
+}
+
+void run_phase1(FederationSim& sim, std::uint64_t slots) {
+  // requesting[shard][user]: user 0 downloads (and thereby, in the
+  // paper's symmetric barter, contributes) through shard 0 only.
+  const std::vector<std::vector<std::uint8_t>> phase1 = {{1, 0}, {0, 0}};
+  for (std::uint64_t t = 0; t < slots; ++t) sim.step(phase1);
+}
+
+TEST(FederationSim, GossipCarriesContributionAcrossShards) {
+  FederationSim sim(two_shard_config(/*gossip_period=*/4));
+  run_phase1(sim, 50);
+  EXPECT_GT(sim.local_total(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sim.local_total(1, 0), 0.0);  // shard 1 never served
+  sim.gossip_now();
+  // Shard 1's replica now knows user 0's standing at shard 0.
+  EXPECT_DOUBLE_EQ(sim.known_remote(1, 0), sim.local_total(0, 0));
+
+  // Phase 2: both users contend at shard 1.  A couple of slots let the
+  // fold reach the policy ledger.
+  const std::vector<std::vector<std::uint8_t>> phase2 = {{0, 0}, {1, 1}};
+  for (int t = 0; t < 3; ++t) sim.step(phase2);
+
+  // Eq. (2): shares split proportionally to the ledger.  User 0 arrives
+  // with ~50 slots of gossiped history against user 1's epsilon, so user
+  // 0 must take the overwhelming share of shard 1's capacity.
+  const double share0 = sim.last_share(1, 0);
+  const double share1 = sim.last_share(1, 1);
+  EXPECT_GT(share0, 0.0);
+  EXPECT_GT(share1, 0.0);  // epsilon keeps newcomers alive
+  EXPECT_GT(share0 / (share0 + share1), 0.95);
+}
+
+TEST(FederationSim, NoGossipMeansNoCrossShardCredit) {
+  // Negative control: identical run with gossip disabled — shard 1 sees
+  // only epsilon for both users and splits its capacity evenly.
+  FederationSim sim(two_shard_config(/*gossip_period=*/0));
+  run_phase1(sim, 50);
+  EXPECT_DOUBLE_EQ(sim.known_remote(1, 0), 0.0);
+
+  const std::vector<std::vector<std::uint8_t>> phase2 = {{0, 0}, {1, 1}};
+  for (int t = 0; t < 3; ++t) sim.step(phase2);
+  const double share0 = sim.last_share(1, 0);
+  const double share1 = sim.last_share(1, 1);
+  // Both start from the same epsilon and receive identical service at
+  // shard 1, so their shares stay within a whisker of 50/50.
+  EXPECT_NEAR(share0 / (share0 + share1), 0.5, 0.05);
+}
+
+TEST(FederationSim, GossipedShareMatchesSingleServerWithinTolerance) {
+  // The acceptance bound the live e2e test also asserts: the share a
+  // gossiped-in user gets at a fresh shard is within ±15% of what they
+  // would get from a single server holding the whole history locally.
+  FederationSim federated(two_shard_config(/*gossip_period=*/1));
+  run_phase1(federated, 50);
+  federated.gossip_now();
+
+  FederationConfig solo_config = two_shard_config(/*gossip_period=*/0);
+  solo_config.shards = 1;
+  FederationSim solo(solo_config);
+  const std::vector<std::vector<std::uint8_t>> solo_phase1 = {{1, 0}};
+  for (int t = 0; t < 50; ++t) solo.step(solo_phase1);
+
+  const std::vector<std::vector<std::uint8_t>> fed_phase2 = {{0, 0}, {1, 1}};
+  const std::vector<std::vector<std::uint8_t>> solo_phase2 = {{1, 1}};
+  for (int t = 0; t < 3; ++t) {
+    federated.step(fed_phase2);
+    solo.step(solo_phase2);
+  }
+  const double fed_frac =
+      federated.last_share(1, 0) /
+      (federated.last_share(1, 0) + federated.last_share(1, 1));
+  const double solo_frac = solo.last_share(0, 0) /
+                           (solo.last_share(0, 0) + solo.last_share(0, 1));
+  EXPECT_NEAR(fed_frac, solo_frac, 0.15 * solo_frac);
+}
+
+TEST(FederationSim, RepeatedGossipIsIdempotentInTheLedger) {
+  // Re-delivering the same gossip must not inflate anyone's standing:
+  // the fold applies deltas against a monotone total.
+  FederationSim sim(two_shard_config(/*gossip_period=*/0));
+  run_phase1(sim, 20);
+  sim.gossip_now();
+  const std::vector<std::vector<std::uint8_t>> idle = {{0, 0}, {0, 0}};
+  sim.step(idle);  // one tick folds the remote delta
+  const double after_first = sim.policy_ledger(1, 0);
+  for (int i = 0; i < 5; ++i) {
+    sim.gossip_now();  // same totals again
+    sim.step(idle);
+  }
+  EXPECT_DOUBLE_EQ(sim.policy_ledger(1, 0), after_first);
+}
+
+}  // namespace
+}  // namespace fairshare::sim

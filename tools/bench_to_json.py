@@ -63,10 +63,14 @@ def condense_entries(doc):
             entry["bytes_per_second"] = round(b["bytes_per_second"], 1)
         if b.get("label"):
             entry["kernel"] = b["label"]
-        # Selected user counters worth committing: problem size (k), and the
+        # Selected user counters worth committing: problem size (k), the
         # chunked-decode suite's class count / messages consumed / reception
-        # overhead — the last is an acceptance number in its own right.
-        for counter in ("k", "classes", "consumed", "overhead_pct"):
+        # overhead (the last is an acceptance number in its own right), and
+        # the federation suite's scale axes — server count, session pool,
+        # sessions per core, and the DHT resolve hop count.
+        for counter in ("k", "classes", "consumed", "overhead_pct",
+                        "servers", "sessions", "sessions_per_core",
+                        "resolve_hops", "downloads_failed"):
             if counter in b:
                 entry[counter] = round(b[counter], 3)
         if b.get("error_occurred"):

@@ -38,8 +38,10 @@
 // exactly what a peer would store).  decode needs any k innovative
 // message files plus the passphrase; order does not matter, corrupted
 // files are rejected by their MD5 digests and reported.
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +62,8 @@
 #include "coding/decoder.hpp"
 #include "coding/encoder.hpp"
 #include "crypto/sha256.hpp"
+#include "disco/client.hpp"
+#include "disco/node.hpp"
 #include "gf/row_ops.hpp"
 #include "net/event_loop.hpp"
 #include "net/peer_server.hpp"
@@ -97,7 +101,17 @@ int usage() {
                "                 [--rate-kbps R] [--slot-seconds S]"
                " [--users N] [--events N] [--horizon N]\n"
                "                 [--mean-bytes B] [--file-bytes B] [--seed S]"
-               " [--out report.json] [--dump]\n");
+               " [--out report.json] [--dump]\n"
+               "  fairshare_cli disco join [--host H] [--port P]"
+               " [--ring-id N] [--node host:port ...]\n"
+               "                 (run a discovery node until SIGINT)\n"
+               "  fairshare_cli disco announce <file-id> --node host:port"
+               " --provider-port P\n"
+               "                 [--provider-host H] [--peer-id N]"
+               " [--ttl-ms N]\n"
+               "  fairshare_cli disco resolve <file-id> --node host:port"
+               " ...\n"
+               "  fairshare_cli disco status --node host:port ...\n");
   return 2;
 }
 
@@ -147,6 +161,15 @@ struct Options {
   std::uint64_t seed = 1;
   std::string out_path;
   bool dump = false;
+  // disco
+  std::vector<std::string> nodes;   // --node host:port (repeatable)
+  std::string host = "127.0.0.1";   // disco join bind/advertise address
+  std::uint16_t port = 0;           // disco join listen port (0 = pick)
+  std::uint64_t ring_id = 0;        // disco join ring position (0 = derive)
+  std::uint64_t peer_id = 0;        // disco announce provider peer id
+  std::string provider_host = "127.0.0.1";
+  std::uint16_t provider_port = 0;  // disco announce serving port
+  std::uint32_t ttl_ms = 10'000;    // disco announce record lifetime
   std::vector<std::string> positional;
 };
 
@@ -238,6 +261,38 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.out_path = v;
     } else if (arg == "--dump") {
       opt.dump = true;
+    } else if (arg == "--node") {
+      const char* v = next("--node");
+      if (!v) return false;
+      opt.nodes.push_back(v);
+    } else if (arg == "--host") {
+      const char* v = next("--host");
+      if (!v) return false;
+      opt.host = v;
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (!v) return false;
+      opt.port = static_cast<std::uint16_t>(std::stoul(v));
+    } else if (arg == "--ring-id") {
+      const char* v = next("--ring-id");
+      if (!v) return false;
+      opt.ring_id = std::stoull(v, nullptr, 0);
+    } else if (arg == "--peer-id") {
+      const char* v = next("--peer-id");
+      if (!v) return false;
+      opt.peer_id = std::stoull(v);
+    } else if (arg == "--provider-host") {
+      const char* v = next("--provider-host");
+      if (!v) return false;
+      opt.provider_host = v;
+    } else if (arg == "--provider-port") {
+      const char* v = next("--provider-port");
+      if (!v) return false;
+      opt.provider_port = static_cast<std::uint16_t>(std::stoul(v));
+    } else if (arg == "--ttl-ms") {
+      const char* v = next("--ttl-ms");
+      if (!v) return false;
+      opt.ttl_ms = static_cast<std::uint32_t>(std::stoul(v));
     } else {
       opt.positional.push_back(arg);
     }
@@ -703,6 +758,150 @@ int cmd_replay(const Options& opt) {
   return status;
 }
 
+std::optional<disco::wire::Member> parse_member(const std::string& text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size())
+    return std::nullopt;
+  disco::wire::Member member;
+  member.host = text.substr(0, colon);
+  try {
+    member.port =
+        static_cast<std::uint16_t>(std::stoul(text.substr(colon + 1)));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return member.port != 0 ? std::optional(member) : std::nullopt;
+}
+
+std::atomic<bool> g_disco_stop{false};
+
+// disco join: run a discovery node in the foreground.  It keeps serving
+// lookups/announces/gossip until SIGINT/SIGTERM; a federated deployment
+// runs one of these beside each serving process and points the server's
+// Config::discovery hook at it (in-process) or at this node's port.
+int cmd_disco_join(const Options& opt,
+                   std::vector<disco::wire::Member> seeds) {
+  disco::NodeConfig config;
+  config.host = opt.host;
+  config.port = opt.port;
+  config.ring_id = opt.ring_id;
+  config.provider_ttl_ms = opt.ttl_ms;
+  config.seeds = std::move(seeds);
+  disco::DiscoveryNode node(std::move(config));
+  if (!node.start()) {
+    std::fprintf(stderr, "cannot bind %s:%u\n", opt.host.c_str(), opt.port);
+    return 1;
+  }
+  std::signal(SIGINT, [](int) { g_disco_stop = true; });
+  std::signal(SIGTERM, [](int) { g_disco_stop = true; });
+  std::printf("disco node %016llx serving on %s:%u (ctrl-c to stop)\n",
+              static_cast<unsigned long long>(node.ring_id()),
+              opt.host.c_str(), node.port());
+  while (!g_disco_stop)
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  node.stop();
+  const auto status = node.status();
+  std::printf("stopped: %zu members, %u records, %llu gossip rounds, "
+              "%llu lookups served\n",
+              status.members.size(), status.provider_records,
+              static_cast<unsigned long long>(status.gossip_rounds),
+              static_cast<unsigned long long>(status.lookups_served));
+  return 0;
+}
+
+int cmd_disco(const Options& opt) {
+  if (opt.positional.empty()) return usage();
+  const std::string& sub = opt.positional[0];
+
+  std::vector<disco::wire::Member> seeds;
+  for (const std::string& text : opt.nodes) {
+    const auto member = parse_member(text);
+    if (!member) {
+      std::fprintf(stderr, "bad --node %s (want host:port)\n", text.c_str());
+      return 2;
+    }
+    seeds.push_back(*member);
+  }
+
+  if (sub == "join") return cmd_disco_join(opt, std::move(seeds));
+
+  if (seeds.empty()) {
+    std::fprintf(stderr, "disco %s needs at least one --node host:port\n",
+                 sub.c_str());
+    return 2;
+  }
+  disco::ClientConfig client_config;
+  client_config.seeds = seeds;
+  const disco::Client client(client_config);
+
+  if (sub == "announce") {
+    if (opt.positional.size() != 2 || opt.provider_port == 0) return usage();
+    const std::uint64_t file_id = std::stoull(opt.positional[1]);
+    disco::wire::Provider provider;
+    provider.peer_id = opt.peer_id;
+    provider.host = opt.provider_host;
+    provider.port = opt.provider_port;
+    if (!client.announce(file_id, provider, opt.ttl_ms)) {
+      std::fprintf(stderr, "announce failed: no owner reachable\n");
+      return 1;
+    }
+    std::printf("announced file %llu -> %s:%u (peer %llu, ttl %u ms)\n",
+                static_cast<unsigned long long>(file_id),
+                provider.host.c_str(), provider.port,
+                static_cast<unsigned long long>(provider.peer_id),
+                opt.ttl_ms);
+    return 0;
+  }
+
+  if (sub == "resolve") {
+    if (opt.positional.size() != 2) return usage();
+    const std::uint64_t file_id = std::stoull(opt.positional[1]);
+    int hops = 0;
+    const auto providers = client.resolve(file_id, &hops);
+    if (providers.empty()) {
+      std::fprintf(stderr, "no providers for file %llu (%d hops)\n",
+                   static_cast<unsigned long long>(file_id), hops);
+      return 1;
+    }
+    for (const auto& provider : providers)
+      std::printf("%s:%u peer=%llu\n", provider.host.c_str(), provider.port,
+                  static_cast<unsigned long long>(provider.peer_id));
+    std::printf("%zu provider(s), %d routing hop(s)\n", providers.size(),
+                hops);
+    return 0;
+  }
+
+  if (sub == "status") {
+    int exit_code = 0;
+    for (const auto& seed : seeds) {
+      const auto status = client.status(seed);
+      if (!status) {
+        std::fprintf(stderr, "%s:%u unreachable\n", seed.host.c_str(),
+                     seed.port);
+        exit_code = 1;
+        continue;
+      }
+      std::printf("node %016llx at %s:%u\n",
+                  static_cast<unsigned long long>(status->self.id),
+                  status->self.host.c_str(), status->self.port);
+      std::printf("  members         : %zu\n", status->members.size());
+      for (const auto& member : status->members)
+        std::printf("    %016llx %s:%u\n",
+                    static_cast<unsigned long long>(member.id),
+                    member.host.c_str(), member.port);
+      std::printf("  provider records: %u\n", status->provider_records);
+      std::printf("  ledger entries  : %u\n", status->ledger_entries);
+      std::printf("  gossip rounds   : %llu\n",
+                  static_cast<unsigned long long>(status->gossip_rounds));
+      std::printf("  lookups served  : %llu\n",
+                  static_cast<unsigned long long>(status->lookups_served));
+    }
+    return exit_code;
+  }
+
+  return usage();
+}
+
 int cmd_caps() {
   const gf::CpuFeatures feat = gf::cpu_features();
   std::printf("fairshare %s\n", FAIRSHARE_VERSION);
@@ -745,5 +944,6 @@ int main(int argc, char** argv) {
   if (cmd == "caps" || cmd == "version") return cmd_caps();
   if (cmd == "stats") return cmd_stats(opt);
   if (cmd == "replay") return cmd_replay(opt);
+  if (cmd == "disco") return cmd_disco(opt);
   return usage();
 }
